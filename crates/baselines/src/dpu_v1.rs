@@ -1,0 +1,140 @@
+//! DPU (v1) model — the paper's predecessor architecture \[46\] and the
+//! main specialized-hardware baseline of Fig. 14(a)/Table III.
+//!
+//! DPU follows Fig. 2(a): 64 asynchronous processing units around shared
+//! scratchpad banks. Its published bottleneck is the shared memory: 43% of
+//! load requests suffer bank conflicts, partially hidden by aggressive
+//! hardware prefetching. Because its cores run asynchronously, the
+//! compiler *cannot* predict which requests collide (§II-A), so the
+//! conflicts are inherent. The model charges each node:
+//!
+//! ```text
+//! cycles/node = issue + 2 loads · P_conflict · (1 − prefetch_hide) + store share
+//! ```
+//!
+//! plus a global-barrier term per coarsened dependency level, evaluated at
+//! DPU's published 0.3 GHz / 0.07 W operating point. Defaults are
+//! calibrated so a PC-shaped 10k-node DAG lands near the published
+//! 3.1 GOPS average (DPU-v2 being ~1.4× faster on the same suite).
+
+use dpu_dag::Dag;
+
+use crate::PlatformResult;
+
+/// DPU-v1 model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DpuV1Model {
+    /// Parallel processing units.
+    pub pes: u32,
+    /// Clock frequency (Hz).
+    pub freq_hz: f64,
+    /// Probability that a scratchpad load hits a busy bank (published:
+    /// 0.43).
+    pub p_conflict: f64,
+    /// Fraction of conflict latency hidden by prefetching.
+    pub prefetch_hide: f64,
+    /// Issue + compute + writeback base cost per node, in PE-cycles.
+    pub base_cycles: f64,
+    /// Extra serialization cycles per conflicting access.
+    pub conflict_penalty: f64,
+    /// Dependency levels folded into one synchronization scope.
+    pub coarsen: u32,
+    /// Cycles per global synchronization.
+    pub sync_cycles: f64,
+    /// Average power (W) — published 28nm measurement.
+    pub power_w: f64,
+}
+
+impl Default for DpuV1Model {
+    fn default() -> Self {
+        DpuV1Model {
+            pes: 64,
+            freq_hz: 300e6,
+            p_conflict: 0.43,
+            prefetch_hide: 0.5,
+            base_cycles: 4.0,
+            conflict_penalty: 3.0,
+            coarsen: 6,
+            sync_cycles: 48.0,
+            power_w: 0.07,
+        }
+    }
+}
+
+impl DpuV1Model {
+    /// Predicted execution time for one evaluation of `dag`, in seconds.
+    pub fn exec_time_s(&self, dag: &Dag) -> f64 {
+        let layers = dag.layers();
+        let per_node = self.base_cycles
+            + 2.0 * self.p_conflict * self.conflict_penalty * (1.0 - self.prefetch_hide);
+        let mut cycles = 0.0f64;
+        for chunk in layers.chunks(self.coarsen.max(1) as usize) {
+            let nodes: usize = chunk.iter().map(Vec::len).sum();
+            let balanced = nodes as f64 * per_node / f64::from(self.pes);
+            let chain = chunk.len() as f64 * per_node;
+            cycles += self.sync_cycles + balanced.max(chain);
+        }
+        cycles / self.freq_hz
+    }
+
+    /// Throughput/power for one workload.
+    pub fn evaluate(&self, dag: &Dag) -> PlatformResult {
+        let ops = dag.op_count() as f64;
+        let t = self.exec_time_s(dag);
+        PlatformResult {
+            platform: "DPU",
+            throughput_gops: ops / t / 1e9,
+            power_w: self.power_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuModel;
+    use dpu_dag::{DagBuilder, Op};
+
+    fn layered_dag(width: usize, depth: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        let mut level: Vec<_> = (0..width).map(|_| b.input()).collect();
+        for _ in 0..depth {
+            level = level
+                .iter()
+                .map(|&x| b.node(Op::Add, &[x, x]).unwrap())
+                .collect();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn lands_near_published_average() {
+        let dag = layered_dag(350, 30); // PC-shaped, ~10k usable nodes
+        let r = DpuV1Model::default().evaluate(&dag);
+        assert!(
+            (1.0..=6.0).contains(&r.throughput_gops),
+            "GOPS = {}",
+            r.throughput_gops
+        );
+    }
+
+    #[test]
+    fn beats_cpu_on_irregular_small_dags() {
+        let dag = layered_dag(350, 30);
+        let dpu = DpuV1Model::default().evaluate(&dag);
+        let cpu = CpuModel::default().evaluate(&dag);
+        assert!(dpu.throughput_gops > cpu.throughput_gops);
+    }
+
+    #[test]
+    fn fewer_conflicts_is_faster() {
+        let dag = layered_dag(350, 30);
+        let base = DpuV1Model::default().evaluate(&dag);
+        let ideal = DpuV1Model {
+            p_conflict: 0.0,
+            ..Default::default()
+        }
+        .evaluate(&dag);
+        assert!(ideal.throughput_gops > base.throughput_gops);
+    }
+}

@@ -1,0 +1,133 @@
+//! GPU model: layer-wise parallelization (cuSPARSE-style SpTRSV \[30\] and
+//! the paper's CUDA PC implementation, measured on an RTX 2080Ti).
+//!
+//! Layer-wise execution launches/synchronizes one step per dependency
+//! level: every level pays a fixed overhead (kernel launch or grid-wide
+//! sync), and the parallel part is bound not by the GPU's multi-TFLOP peak
+//! but by irregular gather bandwidth — a 4-byte operand costs a full
+//! 32-byte memory transaction, and uncoalesced accesses prevent the memory
+//! system from merging them (§I). The model:
+//!
+//! ```text
+//! t = Σ_levels [ t_level + nodes_in_level / rate_nodes ]
+//! rate_nodes ≈ BW_effective / bytes_per_node
+//! ```
+//!
+//! Small DAGs (< 100k nodes) are overhead-dominated — reproducing
+//! Fig. 1(c)'s GPU-below-CPU region — while multi-million-node PCs
+//! amortize the overheads and overtake the CPU (Fig. 14(b)).
+
+use dpu_dag::Dag;
+
+use crate::PlatformResult;
+
+/// GPU model parameters (defaults = RTX 2080Ti, 616 GB/s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuModel {
+    /// Per-level overhead in seconds (kernel launch / grid sync).
+    pub t_level_s: f64,
+    /// Effective irregular-gather bandwidth in bytes/s (well below the
+    /// 616 GB/s peak because transactions are uncoalesced).
+    pub effective_bw: f64,
+    /// Bytes moved per node evaluation (operands + result + indices).
+    pub bytes_per_node: f64,
+    /// Board power under this workload (W).
+    pub power_w: f64,
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        GpuModel {
+            t_level_s: 1.2e-6,
+            effective_bw: 250e9,
+            bytes_per_node: 32.0,
+            power_w: 98.0,
+        }
+    }
+}
+
+impl GpuModel {
+    /// Parameters for the large-PC experiments (higher sustained clocks
+    /// and power, as in Table III's 155 W column).
+    pub fn large_config() -> Self {
+        GpuModel {
+            power_w: 155.0,
+            ..Default::default()
+        }
+    }
+
+    /// Predicted execution time for one evaluation of `dag`, in seconds.
+    pub fn exec_time_s(&self, dag: &Dag) -> f64 {
+        let layers = dag.layers();
+        let rate = self.effective_bw / self.bytes_per_node;
+        layers
+            .iter()
+            .map(|l| self.t_level_s + l.len() as f64 / rate)
+            .sum()
+    }
+
+    /// Throughput/power for one workload.
+    pub fn evaluate(&self, dag: &Dag) -> PlatformResult {
+        let ops = dag.op_count() as f64;
+        let t = self.exec_time_s(dag);
+        PlatformResult {
+            platform: "GPU",
+            throughput_gops: ops / t / 1e9,
+            power_w: self.power_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuModel;
+    use dpu_dag::{DagBuilder, Op};
+
+    fn layered_dag(width: usize, depth: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        let mut level: Vec<_> = (0..width).map(|_| b.input()).collect();
+        for _ in 0..depth {
+            level = level
+                .iter()
+                .map(|&x| b.node(Op::Mul, &[x, x]).unwrap())
+                .collect();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn small_dags_are_launch_bound_and_lose_to_cpu() {
+        // ~10k nodes, depth 30: the Fig. 1(c) regime where GPU < CPU.
+        let dag = layered_dag(300, 30);
+        let gpu = GpuModel::default().evaluate(&dag);
+        let cpu = CpuModel::default().evaluate(&dag);
+        assert!(
+            gpu.throughput_gops < cpu.throughput_gops,
+            "gpu {} >= cpu {}",
+            gpu.throughput_gops,
+            cpu.throughput_gops
+        );
+    }
+
+    #[test]
+    fn large_dags_overtake_cpu() {
+        // ~1M nodes, depth 90: the Fig. 14(b) regime where GPU > CPU.
+        let dag = layered_dag(12_000, 90);
+        let gpu = GpuModel::large_config().evaluate(&dag);
+        let cpu = CpuModel::default().evaluate(&dag);
+        assert!(
+            gpu.throughput_gops > cpu.throughput_gops,
+            "gpu {} <= cpu {}",
+            gpu.throughput_gops,
+            cpu.throughput_gops
+        );
+    }
+
+    #[test]
+    fn deep_narrow_dags_are_hopeless_on_gpu() {
+        let dag = layered_dag(4, 500);
+        let r = GpuModel::default().evaluate(&dag);
+        assert!(r.throughput_gops < 0.01, "GOPS = {}", r.throughput_gops);
+    }
+}

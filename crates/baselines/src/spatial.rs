@@ -1,0 +1,203 @@
+//! Spatial-datapath peak-utilization study (Fig. 3).
+//!
+//! The paper asks: of a candidate datapath with `n` inputs, what fraction
+//! of its PEs can the *best* subgraph of a real workload DAG occupy?
+//! (Their constrained-optimization mapper \[34\] answers exactly; it is too
+//! slow beyond toy sizes, which is why the compiler uses the greedy cone
+//! search instead — but for this study small `n` suffices.)
+//!
+//! - **Tree** (`n` inputs, `n−1` PEs, depth `log2 n`): the best subgraph is
+//!   found *exactly* by dynamic programming: `f(v, d)` = the largest number
+//!   of useful (non-bypass) PE occurrences when `v` is unrolled as a root
+//!   with depth budget `d`, cutting operands into register-file inputs
+//!   wherever that helps.
+//! - **Systolic array** (`n` inputs, `n²/4` PEs): a node at grid cell
+//!   `(r, c)` must consume the outputs of `(r−1, c)` and `(r, c−1)` — a
+//!   grid-minor condition that irregular DAGs almost never satisfy, so
+//!   utilization collapses as `n` grows (the paper's Fig. 3(c)). A
+//!   randomized greedy mapper with restarts gives a lower bound that is
+//!   tight in practice for these DAGs.
+
+use dpu_dag::{Dag, NodeId, Op};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Exact peak utilization of a tree datapath with `2^depth` inputs
+/// (`2^depth − 1` PEs) on `dag`, in `[0, 1]`.
+pub fn tree_peak_utilization(dag: &Dag, depth: u32) -> f64 {
+    assert!(depth >= 1, "depth must be >= 1");
+    let n = dag.len();
+    let pes = (1u64 << depth) - 1;
+    // f[d][v] = useful PE occurrences with v as root and budget d.
+    let mut prev = vec![0u64; n]; // d = 0: nothing placeable
+    let mut best = 0u64;
+    for _d in 1..=depth {
+        let mut cur = vec![0u64; n];
+        for v in dag.nodes() {
+            if dag.op(v) == Op::Input {
+                continue;
+            }
+            let mut f = 1u64;
+            for &p in dag.preds(v) {
+                if dag.op(p) != Op::Input {
+                    f += prev[p.index()];
+                }
+            }
+            // Cap: a depth-d unrolled tree cannot use more than 2^d − 1.
+            cur[v.index()] = f.min(pes);
+            best = best.max(cur[v.index()]);
+        }
+        prev = cur;
+    }
+    best as f64 / pes as f64
+}
+
+/// Greedy lower bound on the peak utilization of an `n`-input systolic
+/// array (`(n/2) × (n/2)` grid, `n²/4` PEs) on `dag`, with `tries`
+/// randomized restarts.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn systolic_peak_utilization(dag: &Dag, n: u32, tries: u32, seed: u64) -> f64 {
+    assert!(n >= 2, "n must be >= 2");
+    let side = (n / 2).max(1) as usize;
+    let total = side * side;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let compute_nodes: Vec<NodeId> = dag.nodes().filter(|&v| dag.op(v) != Op::Input).collect();
+    if compute_nodes.is_empty() {
+        return 0.0;
+    }
+    let mut best = 0usize;
+    for _ in 0..tries.max(1) {
+        let mut grid: Vec<Vec<Option<NodeId>>> = vec![vec![None; side]; side];
+        let mut used = std::collections::HashSet::new();
+        let start = compute_nodes[rng.gen_range(0..compute_nodes.len())];
+        grid[0][0] = Some(start);
+        used.insert(start);
+        let mut count = 1usize;
+        // Row 0 and column 0: successor chains.
+        for c in 1..side {
+            let prev = grid[0][c - 1].expect("filled left to right");
+            let next = dag
+                .succs(prev)
+                .iter()
+                .find(|&&s| !used.contains(&s) && dag.preds(s).contains(&prev));
+            match next {
+                Some(&s) => {
+                    grid[0][c] = Some(s);
+                    used.insert(s);
+                    count += 1;
+                }
+                None => break,
+            }
+        }
+        for r in 1..side {
+            let prev = grid[r - 1][0].expect("filled top to bottom");
+            let next = dag
+                .succs(prev)
+                .iter()
+                .find(|&&s| !used.contains(&s) && dag.preds(s).contains(&prev));
+            match next {
+                Some(&s) => {
+                    grid[r][0] = Some(s);
+                    used.insert(s);
+                    count += 1;
+                }
+                None => break,
+            }
+            // Interior: needs a common successor of top and left.
+            for c in 1..side {
+                let (Some(top), Some(left)) = (grid[r - 1][c], grid[r][c - 1]) else {
+                    break;
+                };
+                let cand = dag.succs(top).iter().find(|&&s| {
+                    !used.contains(&s)
+                        && dag.preds(s).contains(&top)
+                        && dag.preds(s).contains(&left)
+                });
+                match cand {
+                    Some(&s) => {
+                        grid[r][c] = Some(s);
+                        used.insert(s);
+                        count += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        best = best.max(count);
+    }
+    best as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_dag::DagBuilder;
+
+    /// Perfect binary reduction tree: ideal for the tree datapath.
+    fn reduction_tree(leaves: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        let mut level: Vec<NodeId> = (0..leaves).map(|_| b.input()).collect();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|c| b.node(Op::Add, &[c[0], c[1]]).unwrap())
+                .collect();
+        }
+        b.finish().unwrap()
+    }
+
+    fn irregular(nodes: usize, seed: u64) -> Dag {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = DagBuilder::new();
+        let mut ids: Vec<NodeId> = (0..16).map(|_| b.input()).collect();
+        while ids.len() < nodes {
+            let i = ids[rng.gen_range(0..ids.len())];
+            let j = ids[rng.gen_range(0..ids.len())];
+            ids.push(b.node(Op::Add, &[i, j]).unwrap());
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn tree_fully_utilized_by_reduction() {
+        let dag = reduction_tree(16);
+        for d in 1..=4 {
+            let u = tree_peak_utilization(&dag, d);
+            assert!((u - 1.0).abs() < 1e-12, "depth {d}: {u}");
+        }
+    }
+
+    #[test]
+    fn tree_stays_high_on_irregular_dags() {
+        let dag = irregular(2000, 3);
+        // The paper's Fig. 3(c): trees reach ~100% even at 16 inputs.
+        let u = tree_peak_utilization(&dag, 4);
+        assert!(u > 0.9, "utilization {u}");
+    }
+
+    #[test]
+    fn systolic_collapses_with_inputs() {
+        let dag = irregular(2000, 3);
+        let u4 = systolic_peak_utilization(&dag, 4, 50, 1);
+        let u16 = systolic_peak_utilization(&dag, 16, 50, 1);
+        assert!(u4 > u16, "u4 {u4} <= u16 {u16}");
+        assert!(u16 < 0.5, "u16 {u16}");
+    }
+
+    #[test]
+    fn systolic_perfect_on_grid_dag() {
+        // A 2x2 grid DAG maps perfectly onto the n=4 array (side 2).
+        let mut b = DagBuilder::new();
+        let i0 = b.input();
+        let a = b.node(Op::Add, &[i0, i0]).unwrap(); // (0,0)
+        let b01 = b.node(Op::Add, &[a, i0]).unwrap(); // (0,1)
+        let b10 = b.node(Op::Add, &[a, i0]).unwrap(); // (1,0)
+        b.node(Op::Add, &[b01, b10]).unwrap(); // (1,1) reads top+left
+        let dag = b.finish().unwrap();
+        let u = systolic_peak_utilization(&dag, 4, 200, 7);
+        assert!(u >= 0.75, "utilization {u}");
+    }
+}

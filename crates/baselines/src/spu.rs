@@ -1,0 +1,78 @@
+//! SPU model — the sparse processing unit \[11\] of the large-PC
+//! comparison (Fig. 14(b), Table III).
+//!
+//! SPU's code is not open-sourced; the paper itself writes "we estimate
+//! the throughput based on the speedups reported over its CPU baseline"
+//! (Table III: 22.2 GOPS†, a 13.3× speedup over `CPU_SPU`, at 16 W). This
+//! module mirrors exactly that estimation: SPU throughput = published
+//! speedup × the modelled `CPU_SPU` baseline.
+
+use dpu_dag::Dag;
+
+use crate::cpu::CpuModel;
+use crate::PlatformResult;
+
+/// SPU estimate parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpuModel {
+    /// Published speedup over the SPU paper's own CPU baseline.
+    pub speedup_over_cpu: f64,
+    /// Published power (W).
+    pub power_w: f64,
+    /// The CPU baseline to scale from.
+    pub cpu: CpuModel,
+}
+
+impl Default for SpuModel {
+    fn default() -> Self {
+        SpuModel {
+            speedup_over_cpu: 13.3,
+            power_w: 16.0,
+            cpu: CpuModel::spu_baseline(),
+        }
+    }
+}
+
+impl SpuModel {
+    /// Throughput/power estimate for one workload.
+    pub fn evaluate(&self, dag: &Dag) -> PlatformResult {
+        let cpu = self.cpu.evaluate(dag);
+        PlatformResult {
+            platform: "SPU",
+            throughput_gops: cpu.throughput_gops * self.speedup_over_cpu,
+            power_w: self.power_w,
+        }
+    }
+
+    /// The `CPU_SPU` baseline itself (a Table III column).
+    pub fn cpu_baseline(&self, dag: &Dag) -> PlatformResult {
+        let mut r = self.cpu.evaluate(dag);
+        r.platform = "CPU_SPU";
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_dag::{DagBuilder, Op};
+
+    #[test]
+    fn spu_is_fixed_multiple_of_its_cpu() {
+        let mut b = DagBuilder::new();
+        let mut level: Vec<_> = (0..2000).map(|_| b.input()).collect();
+        for _ in 0..40 {
+            level = level
+                .iter()
+                .map(|&x| b.node(Op::Add, &[x, x]).unwrap())
+                .collect();
+        }
+        let dag = b.finish().unwrap();
+        let m = SpuModel::default();
+        let spu = m.evaluate(&dag);
+        let cpu = m.cpu_baseline(&dag);
+        let ratio = spu.throughput_gops / cpu.throughput_gops;
+        assert!((ratio - 13.3).abs() < 1e-9);
+        assert_eq!(spu.power_w, 16.0);
+    }
+}

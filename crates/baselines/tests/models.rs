@@ -1,0 +1,64 @@
+//! Cross-model sanity: the baseline platform models must preserve the
+//! paper's qualitative ordering on the workload shapes of Table I.
+
+use dpu_baselines::cpu::CpuModel;
+use dpu_baselines::dpu_v1::DpuV1Model;
+use dpu_baselines::gpu::GpuModel;
+use dpu_baselines::spu::SpuModel;
+use dpu_workloads::suite;
+
+#[test]
+fn small_suite_ordering_dpu_over_cpu_over_gpu() {
+    let (mut dpu1, mut cpu, mut gpu, mut n) = (0.0, 0.0, 0.0, 0.0);
+    for spec in suite::small_suite() {
+        let dag = spec.generate_scaled(0.25);
+        dpu1 += DpuV1Model::default().evaluate(&dag).throughput_gops;
+        cpu += CpuModel::default().evaluate(&dag).throughput_gops;
+        gpu += GpuModel::default().evaluate(&dag).throughput_gops;
+        n += 1.0;
+    }
+    assert!(
+        dpu1 / n > cpu / n,
+        "DPU-v1 must beat the CPU on the small suite"
+    );
+    assert!(
+        cpu / n > gpu / n,
+        "the CPU must beat the GPU on small DAGs (Fig. 1c)"
+    );
+}
+
+#[test]
+fn gpu_scales_better_than_cpu_with_size() {
+    let spec = &suite::large_pc_suite()[0];
+    let small = spec.generate_scaled(0.02);
+    let large = spec.generate_scaled(0.25);
+    let cpu = CpuModel::default();
+    let gpu = GpuModel::large_config();
+    let gain_cpu = cpu.evaluate(&large).throughput_gops / cpu.evaluate(&small).throughput_gops;
+    let gain_gpu = gpu.evaluate(&large).throughput_gops / gpu.evaluate(&small).throughput_gops;
+    assert!(
+        gain_gpu > gain_cpu,
+        "GPU gains more from scale: {gain_gpu} vs {gain_cpu}"
+    );
+}
+
+#[test]
+fn spu_tracks_its_cpu_baseline() {
+    let spec = &suite::large_pc_suite()[1];
+    let dag = spec.generate_scaled(0.05);
+    let m = SpuModel::default();
+    let ratio = m.evaluate(&dag).throughput_gops / m.cpu_baseline(&dag).throughput_gops;
+    assert!((ratio - m.speedup_over_cpu).abs() < 1e-9);
+}
+
+#[test]
+fn edp_ordering_matches_table3() {
+    // Specialized hardware wins EDP by orders of magnitude (Table III).
+    let spec = &suite::small_suite()[0];
+    let dag = spec.generate_scaled(0.25);
+    let dpu1 = DpuV1Model::default().evaluate(&dag);
+    let cpu = CpuModel::default().evaluate(&dag);
+    let gpu = GpuModel::default().evaluate(&dag);
+    assert!(dpu1.edp_pj_ns() * 100.0 < cpu.edp_pj_ns());
+    assert!(cpu.edp_pj_ns() < gpu.edp_pj_ns());
+}

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the compiler pipeline (Table I's compile-time
+//! column): full compilation plus each step in isolation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dpu_core::compiler::{compile, step1, step2, CompileOptions};
+use dpu_core::prelude::*;
+use dpu_core::workloads::pc::{generate_pc, PcParams};
+
+fn bench_compiler(c: &mut Criterion) {
+    let dag = generate_pc(&PcParams::with_targets(2_000, 16), 9);
+    let (bin, _) = dag.binarize();
+    let cfg = ArchConfig::min_edp();
+    let opts = CompileOptions::default();
+
+    c.bench_function("compile/full_2k_pc", |b| {
+        b.iter(|| compile(&dag, &cfg, &opts).expect("compiles"))
+    });
+
+    c.bench_function("compile/step1_blocks", |b| {
+        b.iter_batched(
+            || vec![false; bin.len()],
+            |mut mapped| step1::decompose(&bin, &cfg, None, &mut mapped),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut mapped = vec![false; bin.len()];
+    let raw = step1::decompose(&bin, &cfg, None, &mut mapped);
+    let outputs: Vec<NodeId> = bin.sinks().collect();
+    let needs = step2::compute_needs_store(&bin, &raw, &outputs);
+    let blocks = step2::place_blocks(&bin, &cfg, raw.clone(), &needs);
+    c.bench_function("compile/step2_banks", |b| {
+        b.iter(|| {
+            step2::assign_banks(
+                &bin,
+                &cfg,
+                &blocks,
+                &outputs,
+                step2::BankPolicy::ConflictAware,
+                7,
+            )
+        })
+    });
+}
+
+criterion_group! {
+name = benches;
+config = Criterion::default()
+    .sample_size(10)
+    .measurement_time(std::time::Duration::from_secs(2))
+    .warm_up_time(std::time::Duration::from_millis(300));
+targets = bench_compiler}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion wrappers around the experiment harness: one benchmark per
+//! (fast) table/figure regeneration, so `cargo bench` exercises the same
+//! code paths as the experiment binaries. Slow sweeps are represented by
+//! a single DSE point evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpu_core::dse;
+use dpu_core::prelude::*;
+use dpu_core::workloads::pc::{generate_pc, pc_inputs, PcParams};
+
+fn bench_experiments(c: &mut Criterion) {
+    c.bench_function("experiments/fig07_instr_lengths", |b| {
+        b.iter(dpu_bench::experiments::fig07_instr_lengths)
+    });
+
+    let dag = generate_pc(&PcParams::with_targets(1_200, 12), 3);
+    let inputs = pc_inputs(&dag, 4);
+    let workloads = vec![(dag, inputs)];
+    let cfg = ArchConfig::new(2, 16, 32).expect("valid");
+    c.bench_function("experiments/dse_point", |b| {
+        b.iter(|| dse::evaluate_config(&cfg, &workloads).expect("evaluates"))
+    });
+
+    let dag2 = generate_pc(&PcParams::with_targets(1_200, 12), 5);
+    c.bench_function("experiments/fig03_tree_mapper", |b| {
+        b.iter(|| dpu_core::baselines::spatial::tree_peak_utilization(&dag2, 4))
+    });
+}
+
+criterion_group! {
+name = benches;
+config = Criterion::default()
+    .sample_size(10)
+    .measurement_time(std::time::Duration::from_secs(2))
+    .warm_up_time(std::time::Duration::from_millis(300));
+targets = bench_experiments}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmarks of instruction encode/decode (the fetch + shifter
+//! model of Fig. 7(b)).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpu_core::isa::Program;
+use dpu_core::prelude::*;
+use dpu_core::workloads::pc::{generate_pc, PcParams};
+
+fn bench_isa(c: &mut Criterion) {
+    let dag = generate_pc(&PcParams::with_targets(2_000, 16), 9);
+    let dpu = Dpu::min_edp();
+    let compiled = dpu.compile(&dag).expect("compiles");
+    let program = compiled.program;
+    let bytes = program.pack();
+
+    let mut g = c.benchmark_group("isa");
+    g.throughput(Throughput::Elements(program.len() as u64));
+    g.bench_function("pack", |b| b.iter(|| program.pack()));
+    g.bench_function("unpack", |b| {
+        b.iter(|| Program::unpack(program.config, &bytes, program.len()).expect("decodes"))
+    });
+    g.finish();
+}
+
+criterion_group! {
+name = benches;
+config = Criterion::default()
+    .sample_size(10)
+    .measurement_time(std::time::Duration::from_secs(2))
+    .warm_up_time(std::time::Duration::from_millis(300));
+targets = bench_isa}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmarks of the cycle-level simulator: instructions per
+//! second executing a compiled PC workload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpu_core::prelude::*;
+use dpu_core::workloads::pc::{generate_pc, pc_inputs, PcParams};
+
+fn bench_simulator(c: &mut Criterion) {
+    let dag = generate_pc(&PcParams::with_targets(2_000, 16), 9);
+    let inputs = pc_inputs(&dag, 1);
+    let dpu = Dpu::min_edp();
+    let compiled = dpu.compile(&dag).expect("compiles");
+
+    let mut g = c.benchmark_group("simulate");
+    g.throughput(Throughput::Elements(compiled.program.len() as u64));
+    g.bench_function("run_2k_pc", |b| {
+        b.iter(|| dpu.execute(&compiled, &inputs).expect("runs"))
+    });
+    g.bench_function("run_and_verify_2k_pc", |b| {
+        b.iter(|| dpu.execute_verified(&compiled, &inputs).expect("verifies"))
+    });
+    g.finish();
+}
+
+criterion_group! {
+name = benches;
+config = Criterion::default()
+    .sample_size(10)
+    .measurement_time(std::time::Duration::from_secs(2))
+    .warm_up_time(std::time::Duration::from_millis(300));
+targets = bench_simulator}
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Runs every experiment in DESIGN.md §3 and prints the full report
+//! (the source of EXPERIMENTS.md's measured numbers).
+fn main() {
+    print!("{}", dpu_bench::experiments::all_experiments());
+}

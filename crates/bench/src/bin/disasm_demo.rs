@@ -1,0 +1,18 @@
+//! Compiles a tiny workload and prints its disassembly — a debugging view
+//! of what the compiler emits (`dpu_isa::disasm`).
+use dpu_core::isa::disasm;
+use dpu_core::prelude::*;
+use dpu_core::workloads::pc::{generate_pc, PcParams};
+
+fn main() {
+    let dag = generate_pc(&PcParams::with_targets(120, 6), 2);
+    let dpu = Dpu::new(ArchConfig::new(2, 8, 16).expect("valid"));
+    let compiled = dpu.compile(&dag).expect("compiles");
+    println!(
+        "{} nodes -> {} instructions on {}:",
+        dag.len(),
+        compiled.program.len(),
+        dpu.config
+    );
+    print!("{}", disasm::disassemble(&compiled.program));
+}

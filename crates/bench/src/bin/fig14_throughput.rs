@@ -1,0 +1,16 @@
+//! Fig. 14 / Table III: platform comparison. Pass `--large` for the
+//! large-PC configuration (Fig. 14(b)).
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    if large {
+        print!(
+            "{}",
+            dpu_bench::experiments::table3_large(dpu_bench::env_scale(0.125))
+        );
+    } else {
+        print!(
+            "{}",
+            dpu_bench::experiments::table3_small(dpu_bench::env_scale(1.0))
+        );
+    }
+}

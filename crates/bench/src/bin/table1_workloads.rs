@@ -1,0 +1,4 @@
+//! Regenerates one evaluation artifact; see DESIGN.md §3.
+fn main() {
+    print!("{}", dpu_bench::experiments::table1_workloads());
+}

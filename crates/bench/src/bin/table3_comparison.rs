@@ -1,0 +1,12 @@
+//! Table III: both halves of the platform comparison.
+fn main() {
+    print!(
+        "{}",
+        dpu_bench::experiments::table3_small(dpu_bench::env_scale(1.0))
+    );
+    println!();
+    print!(
+        "{}",
+        dpu_bench::experiments::table3_large(dpu_bench::env_scale(0.125))
+    );
+}

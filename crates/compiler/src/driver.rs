@@ -1,0 +1,335 @@
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use dpu_dag::{partition, Dag, NodeId};
+use dpu_isa::{ArchConfig, InstrBreakdown, Program};
+use serde::{Deserialize, Serialize};
+
+use crate::emit::{emit, EmitError};
+use crate::finalize::{finalize, FinalizeError};
+use crate::footprint::{footprint, Footprint};
+use crate::ir::{ConflictStats, DataLayout};
+use crate::reorder::reorder;
+use crate::spill::{insert_spills_with, SpillError, SpillPolicy};
+use crate::step1::{decompose, RawBlock};
+use crate::step2::{assign_banks, compute_needs_store, place_blocks, BankPolicy};
+
+/// Compiler options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileOptions {
+    /// Reordering window (§IV-C). A window of 1 effectively disables
+    /// reordering: every hazard becomes a `nop`. The paper uses 300; this
+    /// implementation bounds *displacement* by the window as well, and its
+    /// ablation study (`dpu-bench --bin ablations`) finds 16 optimal —
+    /// larger windows hoist independent loads so far ahead that the extra
+    /// register lifetime turns into spill traffic.
+    pub window: usize,
+    /// Spill victim-selection policy (§IV-D; the paper's live-range
+    /// analysis corresponds to furthest-next-use).
+    pub spill_policy: SpillPolicy,
+    /// DAGs above this size are first partitioned GRAPHOPT-style into
+    /// parts of this many nodes (§V-B; the paper uses 20k).
+    pub partition_threshold: usize,
+    /// Bank-allocation policy (conflict-aware vs the random baseline).
+    pub bank_policy: BankPolicy,
+    /// Seed for the allocator's randomized tie-breaking.
+    pub seed: u64,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            window: 16,
+            spill_policy: SpillPolicy::FurthestNextUse,
+            partition_threshold: 20_000,
+            bank_policy: BankPolicy::ConflictAware,
+            seed: 0xD9A6,
+        }
+    }
+}
+
+/// Errors from [`compile`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Emission failed (unroutable output or no free bank for a repair).
+    Emit(EmitError),
+    /// Spilling failed (one instruction exceeds a bank's capacity).
+    Spill(SpillError),
+    /// Finalization failed (internal scheduling invariant violated).
+    Finalize(FinalizeError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Emit(e) => write!(f, "emission: {e}"),
+            CompileError::Spill(e) => write!(f, "spilling: {e}"),
+            CompileError::Finalize(e) => write!(f, "finalization: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<EmitError> for CompileError {
+    fn from(e: EmitError) -> Self {
+        CompileError::Emit(e)
+    }
+}
+impl From<SpillError> for CompileError {
+    fn from(e: SpillError) -> Self {
+        CompileError::Spill(e)
+    }
+}
+impl From<FinalizeError> for CompileError {
+    fn from(e: FinalizeError) -> Self {
+        CompileError::Finalize(e)
+    }
+}
+
+/// Compilation statistics (feeds Table I's compile-time column, Fig. 10's
+/// conflict study, Fig. 13's instruction breakdown and §IV-E's footprint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileStats {
+    /// Blocks produced by step 1.
+    pub blocks: u64,
+    /// Mean active PEs per exec over the PE count (datapath utilization).
+    pub pe_utilization: f64,
+    /// Bank-conflict statistics.
+    pub conflicts: ConflictStats,
+    /// `nop`s inserted by reordering.
+    pub reorder_nops: u64,
+    /// Spill stores / reloads.
+    pub spill_stores: u64,
+    /// Spill reloads.
+    pub spill_reloads: u64,
+    /// `nop`s inserted by finalization for residual hazards.
+    pub stall_nops: u64,
+    /// Issue cycles including pipeline drain.
+    pub total_cycles: u64,
+    /// Instruction-category counts (Fig. 13).
+    pub breakdown: InstrBreakdown,
+    /// Program size in bits, and the counterfactual with explicit write
+    /// addresses (§III-B's ~30% claim).
+    pub program_bits: u64,
+    /// Counterfactual program size with explicit write addresses.
+    pub program_bits_explicit: u64,
+    /// Memory footprint vs CSR (§IV-E).
+    pub footprint: Footprint,
+    /// Wall-clock compile time in milliseconds.
+    pub compile_ms: f64,
+}
+
+/// A compiled workload.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The executable program.
+    pub program: Program,
+    /// Data-memory layout: where to place inputs, where outputs appear.
+    pub layout: DataLayout,
+    /// The binarized DAG the program computes.
+    pub bin_dag: Dag,
+    /// Mapping from the caller's DAG node ids to `bin_dag` ids.
+    pub orig_to_bin: Vec<NodeId>,
+    /// The output values (binarized ids) stored to
+    /// [`DataLayout::output_slots`], in order: the images of the caller's
+    /// DAG sinks.
+    pub outputs: Vec<NodeId>,
+    /// Statistics.
+    pub stats: CompileStats,
+}
+
+/// Compiles `dag` for `cfg`: binarize → blocks → mapping → emission →
+/// reorder → spill → finalize. The program stores the value of every sink
+/// of `dag` to data memory (see [`DataLayout::output_slots`]).
+///
+/// # Errors
+///
+/// See [`CompileError`]; all variants indicate infeasible bank pressure or
+/// an internal invariant violation, not user error.
+pub fn compile(
+    dag: &Dag,
+    cfg: &ArchConfig,
+    opts: &CompileOptions,
+) -> Result<Compiled, CompileError> {
+    let (bin, map) = dag.binarize();
+    let outputs: Vec<NodeId> = {
+        let mut seen = std::collections::HashSet::new();
+        dag.sinks()
+            .map(|s| map[s.index()])
+            .filter(|o| seen.insert(*o))
+            .collect()
+    };
+    let mut c = compile_binary(&bin, cfg, &outputs, opts)?;
+    c.orig_to_bin = map;
+    Ok(c)
+}
+
+/// Compiles an already-binary DAG, storing the listed `outputs`.
+///
+/// # Errors
+///
+/// See [`CompileError`].
+///
+/// # Panics
+///
+/// Panics if `bin` is not binary or `outputs` contains invalid ids.
+pub fn compile_binary(
+    bin: &Dag,
+    cfg: &ArchConfig,
+    outputs: &[NodeId],
+    opts: &CompileOptions,
+) -> Result<Compiled, CompileError> {
+    assert!(bin.is_binary(), "compile_binary requires a binary DAG");
+    for &o in outputs {
+        bin.check_node(o).expect("output id in range");
+    }
+    let t0 = Instant::now();
+
+    // Step 1 (with GRAPHOPT partitioning for very large DAGs, §V-B).
+    let mut mapped = vec![false; bin.len()];
+    let raw: Vec<RawBlock> = if bin.len() > opts.partition_threshold {
+        let parts = partition::partition(bin, opts.partition_threshold);
+        let mut all = Vec::new();
+        for p in &parts {
+            all.extend(decompose(bin, cfg, Some(&p.nodes), &mut mapped));
+        }
+        all
+    } else {
+        decompose(bin, cfg, None, &mut mapped)
+    };
+
+    // Step 2.
+    let needs = compute_needs_store(bin, &raw, outputs);
+    let blocks = place_blocks(bin, cfg, raw, &needs);
+    let assign = assign_banks(bin, cfg, &blocks, outputs, opts.bank_policy, opts.seed);
+
+    let n_blocks = blocks.len() as u64;
+    let active_pe_sum: u64 = blocks.iter().map(|b| b.pe_config.len() as u64).sum();
+    let pe_utilization = if n_blocks == 0 {
+        0.0
+    } else {
+        active_pe_sum as f64 / (n_blocks * u64::from(cfg.pe_count())) as f64
+    };
+
+    // Emission.
+    let emitted = emit(bin, cfg, &blocks, &assign, outputs)?;
+    let mut layout = emitted.layout;
+    let conflicts = emitted.conflicts;
+
+    // Step 3.
+    let (reordered, reorder_nops) = reorder(cfg, emitted.instrs, opts.window);
+
+    // Step 4.
+    let (spilled, spill_stats) =
+        insert_spills_with(cfg, reordered, layout.spill_base, opts.spill_policy)?;
+    layout.rows_used = layout.spill_base + spill_stats.rows;
+
+    // Finalization.
+    let fin = finalize(cfg, &spilled)?;
+
+    let breakdown = fin.program.breakdown();
+    let program_bits = fin.program.size_bits();
+    let program_bits_explicit = fin.program.size_bits_explicit_writes();
+    let fp = footprint(bin, &fin.program, layout.rows_used);
+
+    let stats = CompileStats {
+        blocks: n_blocks,
+        pe_utilization,
+        conflicts,
+        reorder_nops,
+        spill_stores: spill_stats.stores,
+        spill_reloads: spill_stats.reloads,
+        stall_nops: fin.stall_nops,
+        total_cycles: fin.total_cycles,
+        breakdown,
+        program_bits,
+        program_bits_explicit,
+        footprint: fp,
+        compile_ms: t0.elapsed().as_secs_f64() * 1e3,
+    };
+
+    Ok(Compiled {
+        program: fin.program,
+        layout,
+        bin_dag: bin.clone(),
+        orig_to_bin: (0..bin.len() as u32).map(NodeId).collect(),
+        outputs: outputs.to_vec(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_dag::{DagBuilder, Op};
+
+    fn random_dag(nodes: usize, seed: u64) -> Dag {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = DagBuilder::new();
+        let mut ids: Vec<NodeId> = (0..10).map(|_| b.input()).collect();
+        while ids.len() < nodes {
+            let i = ids[rng.gen_range(0..ids.len())];
+            let j = ids[rng.gen_range(0..ids.len())];
+            let op = if rng.gen_bool(0.6) { Op::Add } else { Op::Mul };
+            ids.push(b.node(op, &[i, j]).unwrap());
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn compiles_small_dag() {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let s = b.node(Op::Add, &[x, y]).unwrap();
+        b.node(Op::Mul, &[s, x]).unwrap();
+        let dag = b.finish().unwrap();
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let c = compile(&dag, &cfg, &CompileOptions::default()).unwrap();
+        assert!(c.program.len() >= 3); // load + exec(s) + store at least
+        assert_eq!(c.layout.output_slots.len(), 1);
+        assert!(c.stats.blocks >= 1);
+    }
+
+    #[test]
+    fn compiles_random_dags_across_configs() {
+        let dag = random_dag(300, 5);
+        for (d, b, r) in [(1u32, 8u32, 16u32), (2, 8, 16), (3, 16, 32), (3, 64, 32)] {
+            let cfg = ArchConfig::new(d, b, r).unwrap();
+            let c = compile(&dag, &cfg, &CompileOptions::default()).unwrap();
+            assert!(c.stats.total_cycles > 0, "D={d} B={b} R={r}");
+        }
+    }
+
+    #[test]
+    fn spills_kick_in_for_tiny_register_file() {
+        let dag = random_dag(400, 8);
+        let cfg = ArchConfig::new(2, 8, 4).unwrap();
+        let c = compile(&dag, &cfg, &CompileOptions::default()).unwrap();
+        assert!(c.stats.spill_stores > 0, "expected spill traffic");
+    }
+
+    #[test]
+    fn partitioned_path_produces_program() {
+        let dag = random_dag(3_000, 3);
+        let cfg = ArchConfig::new(2, 8, 32).unwrap();
+        let opts = CompileOptions {
+            partition_threshold: 500,
+            ..Default::default()
+        };
+        let c = compile(&dag, &cfg, &opts).unwrap();
+        assert!(c.program.len() > 0);
+    }
+
+    #[test]
+    fn autowrite_policy_shrinks_programs() {
+        let dag = random_dag(500, 11);
+        let cfg = ArchConfig::new(3, 16, 32).unwrap();
+        let c = compile(&dag, &cfg, &CompileOptions::default()).unwrap();
+        assert!(c.stats.program_bits < c.stats.program_bits_explicit);
+    }
+}

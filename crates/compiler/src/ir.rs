@@ -1,0 +1,202 @@
+use dpu_dag::NodeId;
+use dpu_isa::{PeId, PeOpcode};
+use serde::{Deserialize, Serialize};
+
+/// A tree-shaped subgraph selected by block decomposition (§IV-A), placed
+/// into a subtree *slot* of one PE tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subgraph {
+    /// The subgraph's unique sink node.
+    pub sink: NodeId,
+    /// All nodes of the subgraph (the sink's unmapped ancestor cone), in
+    /// topological order with the sink last.
+    pub nodes: Vec<NodeId>,
+    /// Unrolled tree depth (= longest path within the cone, in nodes).
+    pub depth: u32,
+    /// PE tree the subgraph is placed on.
+    pub tree: u32,
+    /// Leaf-port offset of the subtree slot within the tree; a multiple of
+    /// `2^depth`.
+    pub leaf_offset: u32,
+}
+
+/// One PE occurrence of a DAG node after spatial unrolling (a shared node
+/// may be replicated onto several PEs, Fig. 9(c)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacedNode {
+    /// The node.
+    pub node: NodeId,
+    /// The PE evaluating this occurrence.
+    pub pe: PeId,
+}
+
+/// A block: the unit of work of one `exec` instruction (§IV-A), together
+/// with its spatial mapping (filled in by step 2).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Block {
+    /// The subgraphs packed into this block.
+    pub subgraphs: Vec<Subgraph>,
+    /// Per-PE opcode configuration, including the bypass padding PEs.
+    pub pe_config: Vec<(PeId, PeOpcode)>,
+    /// Register-file operand fetches: `(global input port, value)`.
+    pub port_reads: Vec<(u32, NodeId)>,
+    /// Values this block must write back to the register file, with every
+    /// PE occurrence that computes them (any occurrence may drive the
+    /// write, giving the bank allocator freedom under constraint H).
+    pub outputs: Vec<(NodeId, Vec<PeId>)>,
+    /// Distinct input values read from the register file.
+    pub inputs: Vec<NodeId>,
+}
+
+/// Register-bank homes chosen by the conflict-aware allocator (§IV-B).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BankAssignment {
+    /// `bank_of[node] = Some(bank)` for every io value (block inputs,
+    /// block outputs, DAG inputs and stored outputs).
+    pub bank_of: Vec<Option<u32>>,
+}
+
+impl BankAssignment {
+    /// Home bank of `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` was not assigned (not an io value).
+    pub fn bank(&self, n: NodeId) -> u32 {
+        self.bank_of[n.index()].expect("node has no bank assignment")
+    }
+}
+
+/// Abstract (pre-address-resolution) instruction: operands are SSA values
+/// (binarized-DAG node ids) plus the bank they are expected to occupy.
+/// [`crate::finalize`] resolves them into concrete register addresses by
+/// replaying the automatic write-address policy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AInstr {
+    /// Pipeline filler.
+    Nop,
+    /// Load data-memory row `row`; word at column `bank` enters `bank` at
+    /// its automatic write address.
+    Load {
+        /// Data-memory row.
+        row: u32,
+        /// `(bank/column, value)` pairs; all banks distinct.
+        dests: Vec<(u32, NodeId)>,
+    },
+    /// Store values to row `row`; value in `bank` goes to column `bank`.
+    Store {
+        /// Data-memory row.
+        row: u32,
+        /// `(bank/column, value)` pairs; all banks distinct.
+        srcs: Vec<(u32, NodeId)>,
+    },
+    /// Cross-bank shuffle resolving bank conflicts (§III-D).
+    Copy {
+        /// `(src bank, value, dst bank)`; src banks pairwise distinct and
+        /// dst banks pairwise distinct, at most [`dpu_isa::Instr::K`] moves.
+        moves: Vec<(u32, NodeId, u32)>,
+    },
+    /// One datapath pass.
+    Exec {
+        /// `(global port, bank, value)` operand fetches.
+        reads: Vec<(u32, u32, NodeId)>,
+        /// PE configuration (non-Nop PEs only).
+        pe_ops: Vec<(PeId, PeOpcode)>,
+        /// `(bank, producing PE, value)` writebacks; banks pairwise
+        /// distinct.
+        writes: Vec<(u32, PeId, NodeId)>,
+    },
+}
+
+impl AInstr {
+    /// `(bank, value)` pairs read by this instruction. Exec reads may list
+    /// the same pair more than once (crossbar broadcast).
+    pub fn bank_reads(&self) -> Vec<(u32, NodeId)> {
+        match self {
+            AInstr::Nop | AInstr::Load { .. } => Vec::new(),
+            AInstr::Store { srcs, .. } => srcs.clone(),
+            AInstr::Copy { moves } => moves.iter().map(|&(s, v, _)| (s, v)).collect(),
+            AInstr::Exec { reads, .. } => reads.iter().map(|&(_, b, v)| (b, v)).collect(),
+        }
+    }
+
+    /// `(bank, value)` pairs written by this instruction, with the
+    /// writeback latency class: `true` if the write lands `D` cycles after
+    /// issue (exec), `false` if it lands at the end of the issue cycle.
+    pub fn bank_writes(&self) -> Vec<(u32, NodeId)> {
+        match self {
+            AInstr::Nop | AInstr::Store { .. } => Vec::new(),
+            AInstr::Load { dests, .. } => dests.clone(),
+            AInstr::Copy { moves } => moves.iter().map(|&(_, v, d)| (d, v)).collect(),
+            AInstr::Exec { writes, .. } => writes.iter().map(|&(b, _, v)| (b, v)).collect(),
+        }
+    }
+
+    /// Whether writebacks land `D` cycles after issue (datapath-pipelined).
+    pub fn is_exec(&self) -> bool {
+        matches!(self, AInstr::Exec { .. })
+    }
+}
+
+/// Data-memory layout of a compiled program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DataLayout {
+    /// `(row, column)` of every DAG input value, indexed by input ordinal
+    /// (the order [`dpu_dag::eval::evaluate`] consumes inputs).
+    pub input_slots: Vec<(u32, u32)>,
+    /// `(row, column)` where each requested output value is stored, in the
+    /// order the outputs were requested.
+    pub output_slots: Vec<(u32, u32)>,
+    /// First row used for spill slots.
+    pub spill_base: u32,
+    /// Total rows used (inputs + outputs + spills).
+    pub rows_used: u32,
+}
+
+/// Bank-conflict and repair statistics (Fig. 6(e), Fig. 10(b)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictStats {
+    /// Block inputs that had to be copied because another input of the same
+    /// exec lived in the same bank (constraint F violations).
+    pub read_conflicts: u64,
+    /// Block outputs that could not be written directly to their home bank
+    /// (constraint G/H violations) and took a detour write + copy.
+    pub write_conflicts: u64,
+    /// `copy` instructions inserted to repair conflicts.
+    pub copies_inserted: u64,
+}
+
+impl ConflictStats {
+    /// Total conflicts (the paper's Fig. 6(e)/10(b) metric).
+    pub fn total(&self) -> u64 {
+        self.read_conflicts + self.write_conflicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ainstr_read_write_sets() {
+        let e = AInstr::Exec {
+            reads: vec![(0, 3, NodeId(7)), (1, 5, NodeId(8))],
+            pe_ops: vec![],
+            writes: vec![(2, PeId::new(0, 1, 0), NodeId(9))],
+        };
+        assert_eq!(e.bank_reads(), vec![(3, NodeId(7)), (5, NodeId(8))]);
+        assert_eq!(e.bank_writes(), vec![(2, NodeId(9))]);
+        assert!(e.is_exec());
+        assert!(!AInstr::Nop.is_exec());
+    }
+
+    #[test]
+    fn conflict_stats_total() {
+        let c = ConflictStats {
+            read_conflicts: 2,
+            write_conflicts: 3,
+            copies_inserted: 4,
+        };
+        assert_eq!(c.total(), 5);
+    }
+}

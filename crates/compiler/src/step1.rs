@@ -1,0 +1,498 @@
+//! Step 1 — block decomposition (Algorithm 1, §IV-A).
+//!
+//! The binarized DAG is greedily cut into *blocks*: sets of tree-shaped
+//! subgraphs that together fit the `T` PE trees of depth `D` and whose
+//! predecessors are all mapped by earlier blocks (constraints A and B).
+//! Subgraph candidates are *cones*: an unmapped node together with all of
+//! its unmapped ancestors; a cone is schedulable on a depth-`d` subtree iff
+//! its longest internal path (in nodes) is at most `d` — shared interior
+//! nodes are replicated at mapping time (Fig. 9(c)).
+//!
+//! The paper enumerates depth combinations per block (Fig. 9(d)); this
+//! implementation realizes the same packing with buddy-style *slot
+//! splitting*: placing a depth-`k` subgraph into a free depth-`d` slot
+//! leaves free sibling slots of depths `k, k+1, …, d−1`. Fitness follows
+//! the paper's objectives: prefer larger cones (objective C, datapath
+//! utilization) close in depth-first order to the block's existing nodes
+//! (objective D, fewer inter-block dependencies).
+
+use std::collections::BTreeMap;
+
+use dpu_dag::{Dag, NodeId, Op};
+use dpu_isa::ArchConfig;
+
+use crate::ir::Subgraph;
+
+/// Locality key per node: `(input-space anchor) << 32 | node id`, where a
+/// node's anchor is the mean of its operands' anchors and an input's
+/// anchor is its own ordinal. The anchor tracks the *center* of a node's
+/// ancestor cone in input space, so sweeping by anchor visits producers
+/// and consumers together regardless of depth (a min/DFS key would drift
+/// toward 0 as cones widen). See the comment at the use site in
+/// [`decompose`].
+fn locality_keys(dag: &Dag) -> Vec<u64> {
+    let mut anchor = vec![0u32; dag.len()];
+    for v in dag.nodes() {
+        let a = if dag.op(v) == Op::Input {
+            v.0
+        } else {
+            let preds = dag.preds(v);
+            let sum: u64 = preds.iter().map(|p| u64::from(anchor[p.index()])).sum();
+            (sum / preds.len().max(1) as u64) as u32
+        };
+        anchor[v.index()] = a;
+    }
+    dag.nodes()
+        .map(|v| (u64::from(anchor[v.index()]) << 32) | u64::from(v.0))
+        .collect()
+}
+
+/// How many candidates (per depth bucket, per direction around the DFS
+/// cursor) the fitness search examines for each placement.
+const SEARCH_NEIGHBORS: usize = 24;
+
+/// A block before spatial mapping: the subgraphs chosen by Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawBlock {
+    /// Subgraphs with their slot placements.
+    pub subgraphs: Vec<Subgraph>,
+}
+
+/// Decomposes (a region of) the binarized DAG into blocks.
+///
+/// `region` restricts decomposition to a node subset (used by the GRAPHOPT
+/// partitioning path for very large DAGs, §V-B); pass `None` for the whole
+/// DAG. Nodes outside the region and [`Op::Input`] nodes are treated as
+/// already mapped. Returns blocks in execution order.
+///
+/// # Panics
+///
+/// Panics if `dag` is not binary (run [`Dag::binarize`] first), or if the
+/// region is not predecessor-closed w.r.t. earlier regions (a region node
+/// whose predecessor is neither an input, nor outside the region, nor in
+/// the region itself cannot occur with GRAPHOPT partitions).
+pub fn decompose(
+    dag: &Dag,
+    cfg: &ArchConfig,
+    region: Option<&[NodeId]>,
+    already_mapped: &mut [bool],
+) -> Vec<RawBlock> {
+    assert!(dag.is_binary(), "step 1 requires a binarized DAG");
+    let d_max = cfg.depth;
+    let trees = cfg.trees();
+    let n = dag.len();
+
+    // `mapped` marks nodes whose values are available before the block being
+    // assembled: inputs, nodes from earlier regions, and earlier blocks.
+    let mapped = already_mapped;
+    debug_assert_eq!(mapped.len(), n);
+    for node in dag.nodes() {
+        if dag.op(node) == Op::Input {
+            mapped[node.index()] = true;
+        }
+    }
+
+    let in_region: Option<Vec<bool>> = region.map(|r| {
+        let mut v = vec![false; n];
+        for &x in r {
+            v[x.index()] = true;
+        }
+        v
+    });
+    let is_workable = |node: NodeId| -> bool {
+        dag.op(node) != Op::Input && in_region.as_ref().is_none_or(|r| r[node.index()])
+    };
+
+    // Locality key for objective D (few inter-block dependencies, short
+    // register lifetimes): nodes are swept in order of their leftmost
+    // input ancestor. For vtree-structured circuits this is the vtree
+    // sweep; for triangular solves it degenerates to row order — in both
+    // cases consumers sit close to producers, unlike a plain DFS order
+    // whose fanout cross-edges span the whole traversal. The node id
+    // disambiguates the BTreeMap key; distances compare anchors only.
+    let dfs = locality_keys(dag);
+
+    // udepth[v]: longest path (in nodes) of v's unmapped ancestor cone,
+    // capped at d_max + 1 ("too deep"). 0 for mapped nodes.
+    let cap = (d_max + 1) as u8;
+    let mut udepth = vec![0u8; n];
+    for v in dag.nodes() {
+        if mapped[v.index()] || !is_workable(v) {
+            continue;
+        }
+        let mut m = 0u8;
+        for &p in dag.preds(v) {
+            if !mapped[p.index()] {
+                m = m.max(udepth[p.index()]);
+            }
+        }
+        udepth[v.index()] = (m + 1).min(cap);
+    }
+
+    // Candidate buckets: per depth 1..=d_max, candidates keyed by locality
+    // for range scans.
+    let mut buckets: Vec<BTreeMap<u64, NodeId>> = vec![BTreeMap::new(); d_max as usize + 1];
+    let mut in_bucket = vec![false; n];
+    for v in dag.nodes() {
+        let ud = udepth[v.index()];
+        if !mapped[v.index()] && is_workable(v) && ud >= 1 && ud <= d_max as u8 {
+            buckets[ud as usize].insert(dfs[v.index()], v);
+            in_bucket[v.index()] = true;
+        }
+    }
+
+    let total_workable = dag
+        .nodes()
+        .filter(|&v| is_workable(v) && !mapped[v.index()])
+        .count();
+
+    // Collects v's unmapped ancestor cone in topological order (sink last).
+    // Cones are small: at most 2^(d+1) − 1 distinct nodes for depth d.
+    let cone_of = |v: NodeId, mapped: &[bool]| -> Vec<NodeId> {
+        let mut seen: Vec<NodeId> = vec![v];
+        let mut stack = vec![v];
+        while let Some(x) = stack.pop() {
+            for &p in dag.preds(x) {
+                if !mapped[p.index()] && !seen.contains(&p) {
+                    seen.push(p);
+                    stack.push(p);
+                }
+            }
+        }
+        seen.sort_unstable(); // ids are topological
+        seen
+    };
+
+    let mut blocks = Vec::new();
+    let mut done = 0usize;
+    let mut cursor_dfs: u64 = 0;
+
+    while done < total_workable {
+        // Free subtree slots per tree: (depth, tree, leaf offset).
+        let mut slots: Vec<(u32, u32, u32)> = (0..trees).map(|t| (d_max, t, 0)).collect();
+        let mut block_nodes: Vec<NodeId> = Vec::new();
+        let mut block_flag = vec![false; 0]; // lazily sized below
+        let mut subgraphs: Vec<Subgraph> = Vec::new();
+
+        while let Some(slot_idx) = slots
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.0)
+            .map(|(i, _)| i)
+        {
+            let (slot_d, tree, off) = slots[slot_idx];
+            // Find the fittest candidate with udepth <= slot_d whose cone is
+            // disjoint from the block so far.
+            let mut best: Option<(i64, NodeId, Vec<NodeId>)> = None;
+            for d in (1..=slot_d as usize).rev() {
+                let bucket = &buckets[d];
+                if bucket.is_empty() {
+                    continue;
+                }
+                let mut inspected = 0usize;
+                let fwd = bucket.range(cursor_dfs..).take(SEARCH_NEIGHBORS);
+                let bwd = bucket.range(..cursor_dfs).rev().take(SEARCH_NEIGHBORS);
+                for (&key, &cand) in fwd.chain(bwd) {
+                    inspected += 1;
+                    if inspected > 2 * SEARCH_NEIGHBORS {
+                        break;
+                    }
+                    let cone = cone_of(cand, mapped);
+                    if block_flag.len() == dag.len() && cone.iter().any(|x| block_flag[x.index()]) {
+                        continue; // overlaps the block under construction
+                    }
+                    // Objective C: more nodes; objective D: proximity in
+                    // the locality sweep. The distance term is uncapped: a
+                    // far-away full cone must lose to nearby work,
+                    // otherwise the schedule scatters across the DAG and
+                    // register liveness (and with it spill traffic)
+                    // explodes.
+                    let dist = ((key >> 32) as i64 - (cursor_dfs >> 32) as i64).abs();
+                    let fitness = cone.len() as i64 * 256 - dist * 8;
+                    if best.as_ref().is_none_or(|(bf, _, _)| fitness > *bf) {
+                        best = Some((fitness, cand, cone));
+                    }
+                }
+                // A full-depth match is as good as it gets for this slot.
+                if best.is_some() && d == slot_d as usize {
+                    break;
+                }
+            }
+
+            let Some((_, sink, cone)) = best else {
+                break; // no candidate fits the remaining slots
+            };
+
+            let k = udepth[sink.index()] as u32;
+            debug_assert!(k >= 1 && k <= slot_d);
+            // Buddy split: take the leftmost depth-k subslot, free siblings.
+            slots.swap_remove(slot_idx);
+            for j in k..slot_d {
+                slots.push((j, tree, off + (1 << j)));
+            }
+            subgraphs.push(Subgraph {
+                sink,
+                nodes: cone.clone(),
+                depth: k,
+                tree,
+                leaf_offset: off,
+            });
+            if block_flag.len() != dag.len() {
+                block_flag = vec![false; dag.len()];
+            }
+            for &x in &cone {
+                block_flag[x.index()] = true;
+                // Remove from candidate buckets; they are about to be mapped.
+                if in_bucket[x.index()] {
+                    let ud = udepth[x.index()] as usize;
+                    buckets[ud].remove(&dfs[x.index()]);
+                    in_bucket[x.index()] = false;
+                }
+            }
+            cursor_dfs = dfs[sink.index()];
+            block_nodes.extend_from_slice(&cone);
+        }
+
+        if subgraphs.is_empty() {
+            // No candidate at all: every unmapped node is deeper than d_max
+            // relative to the mapped set — impossible, since a ready node
+            // (all preds mapped) always has udepth 1.
+            unreachable!("no schedulable subgraph but {done}/{total_workable} mapped");
+        }
+
+        // Commit the block: mark mapped and propagate udepth decreases.
+        let mut dirty: Vec<NodeId> = Vec::new();
+        for &x in &block_nodes {
+            mapped[x.index()] = true;
+            udepth[x.index()] = 0;
+            done += 1;
+            for &s in dag.succs(x) {
+                if !mapped[s.index()] && is_workable(s) {
+                    dirty.push(s);
+                }
+            }
+        }
+        while let Some(v) = dirty.pop() {
+            if mapped[v.index()] || !is_workable(v) {
+                continue;
+            }
+            let mut m = 0u8;
+            for &p in dag.preds(v) {
+                if !mapped[p.index()] {
+                    m = m.max(udepth[p.index()]);
+                }
+            }
+            let new = (m + 1).min(cap);
+            let old = udepth[v.index()];
+            if new < old {
+                udepth[v.index()] = new;
+                if in_bucket[v.index()] {
+                    buckets[old as usize].remove(&dfs[v.index()]);
+                    in_bucket[v.index()] = false;
+                }
+                if new >= 1 && new <= d_max as u8 {
+                    buckets[new as usize].insert(dfs[v.index()], v);
+                    in_bucket[v.index()] = true;
+                }
+                for &s in dag.succs(v) {
+                    if !mapped[s.index()] && is_workable(s) {
+                        dirty.push(s);
+                    }
+                }
+            } else if !in_bucket[v.index()] && new >= 1 && new <= d_max as u8 && new == old {
+                buckets[new as usize].insert(dfs[v.index()], v);
+                in_bucket[v.index()] = true;
+            }
+        }
+
+        blocks.push(RawBlock { subgraphs });
+    }
+
+    blocks
+}
+
+/// Checks the defining invariants of a decomposition: every non-input node
+/// in exactly one subgraph, subgraph depths within `D`, slots disjoint
+/// within each block, and no block contains a node whose predecessor is
+/// mapped by the *same* block in a different subgraph (constraint A:
+/// blocks form a DAG executed in order).
+pub fn validate_blocks(dag: &Dag, cfg: &ArchConfig, blocks: &[RawBlock]) -> Result<(), String> {
+    let mut owner = vec![usize::MAX; dag.len()];
+    for (bi, b) in blocks.iter().enumerate() {
+        let mut slot_mask: Vec<u64> = vec![0; cfg.trees() as usize];
+        for sg in &b.subgraphs {
+            if sg.depth == 0 || sg.depth > cfg.depth {
+                return Err(format!(
+                    "block {bi}: subgraph depth {} out of range",
+                    sg.depth
+                ));
+            }
+            if sg.leaf_offset % (1 << sg.depth) != 0 {
+                return Err(format!(
+                    "block {bi}: misaligned slot offset {}",
+                    sg.leaf_offset
+                ));
+            }
+            let span = 1u64 << sg.depth;
+            let mask = ((1u64 << span) - 1) << sg.leaf_offset;
+            let tm = &mut slot_mask[sg.tree as usize];
+            if *tm & mask != 0 {
+                return Err(format!("block {bi}: overlapping slots in tree {}", sg.tree));
+            }
+            *tm |= mask;
+            for &x in &sg.nodes {
+                if dag.op(x) == Op::Input {
+                    return Err(format!("block {bi}: input node {x} inside subgraph"));
+                }
+                if owner[x.index()] != usize::MAX {
+                    return Err(format!("node {x} mapped twice"));
+                }
+                owner[x.index()] = bi;
+            }
+        }
+    }
+    for v in dag.nodes() {
+        if dag.op(v) == Op::Input {
+            continue;
+        }
+        if owner[v.index()] == usize::MAX {
+            return Err(format!("node {v} unmapped"));
+        }
+        for &p in dag.preds(v) {
+            if dag.op(p) == Op::Input {
+                continue;
+            }
+            if owner[p.index()] > owner[v.index()] {
+                return Err(format!(
+                    "node {v} (block {}) depends on {p} (later block {})",
+                    owner[v.index()],
+                    owner[p.index()]
+                ));
+            }
+            if owner[p.index()] == owner[v.index()] {
+                // Must be within the same subgraph (cones are closed).
+                let b = &blocks[owner[v.index()]];
+                let same_sg = b
+                    .subgraphs
+                    .iter()
+                    .any(|sg| sg.nodes.contains(&v) && sg.nodes.contains(&p));
+                if !same_sg {
+                    return Err(format!(
+                        "intra-block dependency {p} -> {v} across subgraphs"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_dag::DagBuilder;
+
+    fn decompose_whole(dag: &Dag, cfg: &ArchConfig) -> Vec<RawBlock> {
+        let mut mapped = vec![false; dag.len()];
+        decompose(dag, cfg, None, &mut mapped)
+    }
+
+    fn chain_dag(len: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let mut prev = b.node(Op::Add, &[x, x]).unwrap();
+        for _ in 1..len {
+            prev = b.node(Op::Mul, &[prev, x]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    fn random_dag(nodes: usize, seed: u64) -> Dag {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = DagBuilder::new();
+        let mut ids: Vec<NodeId> = (0..8).map(|_| b.input()).collect();
+        while ids.len() < nodes {
+            let i = ids[rng.gen_range(0..ids.len())];
+            let j = ids[rng.gen_range(0..ids.len())];
+            let op = if rng.gen_bool(0.5) { Op::Add } else { Op::Mul };
+            ids.push(b.node(op, &[i, j]).unwrap());
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn chain_decomposes_validly() {
+        let dag = chain_dag(50);
+        let cfg = ArchConfig::new(3, 16, 32).unwrap();
+        let blocks = decompose_whole(&dag, &cfg);
+        validate_blocks(&dag, &cfg, &blocks).unwrap();
+        // A pure chain packs at most D nodes per subgraph.
+        assert!(blocks.len() >= 50 / 3);
+    }
+
+    #[test]
+    fn random_dag_decomposes_validly() {
+        let dag = random_dag(400, 9);
+        for (d, b) in [(1u32, 8u32), (2, 8), (3, 16)] {
+            let cfg = ArchConfig::new(d, b, 32).unwrap();
+            let blocks = decompose_whole(&dag, &cfg);
+            validate_blocks(&dag, &cfg, &blocks).unwrap();
+        }
+    }
+
+    #[test]
+    fn wide_dag_fills_trees() {
+        // 64 independent 2-input adds: with T=2 trees of depth 3, blocks
+        // should pack multiple subgraphs each.
+        let mut b = DagBuilder::new();
+        let ins: Vec<NodeId> = (0..64).map(|_| b.input()).collect();
+        for c in ins.chunks(2) {
+            b.node(Op::Add, &[c[0], c[1]]).unwrap();
+        }
+        let dag = b.finish().unwrap();
+        let cfg = ArchConfig::new(3, 16, 32).unwrap();
+        let blocks = decompose_whole(&dag, &cfg);
+        validate_blocks(&dag, &cfg, &blocks).unwrap();
+        // 32 adds; each block fits up to 2 trees × 4 depth-1 slots = 8.
+        assert!(blocks.len() <= 8, "blocks = {}", blocks.len());
+    }
+
+    #[test]
+    fn deep_cone_is_chunked() {
+        // A perfect binary reduction tree of depth 6 on D=2 hardware.
+        let mut b = DagBuilder::new();
+        let mut level: Vec<NodeId> = (0..64).map(|_| b.input()).collect();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|c| b.node(Op::Add, &[c[0], c[1]]).unwrap())
+                .collect();
+        }
+        let dag = b.finish().unwrap();
+        let cfg = ArchConfig::new(2, 8, 32).unwrap();
+        let blocks = decompose_whole(&dag, &cfg);
+        validate_blocks(&dag, &cfg, &blocks).unwrap();
+        for blk in &blocks {
+            for sg in &blk.subgraphs {
+                assert!(sg.depth <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn region_restriction_respected() {
+        let dag = random_dag(200, 4);
+        let cfg = ArchConfig::new(2, 8, 32).unwrap();
+        // Split nodes into two topological halves.
+        let non_input: Vec<NodeId> = dag.nodes().filter(|&v| dag.op(v) != Op::Input).collect();
+        let (lo, hi) = non_input.split_at(non_input.len() / 2);
+        let mut mapped = vec![false; dag.len()];
+        let blocks_lo = decompose(&dag, &cfg, Some(lo), &mut mapped);
+        let blocks_hi = decompose(&dag, &cfg, Some(hi), &mut mapped);
+        let mut all = blocks_lo;
+        all.extend(blocks_hi);
+        validate_blocks(&dag, &cfg, &all).unwrap();
+    }
+}

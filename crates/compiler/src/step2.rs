@@ -1,0 +1,490 @@
+//! Step 2 — PE mapping and conflict-aware register-bank allocation
+//! (Algorithm 2, §IV-B).
+//!
+//! **PE mapping.** Each subgraph is unrolled onto the subtree slot chosen
+//! in step 1: every node occurrence sits at tree layer = its height within
+//! the cone, shared nodes are replicated (Fig. 9(c)), and height gaps are
+//! padded with bypass-configured PEs so operands ripple up to their
+//! consumers. The slot geometry fixes each occurrence's PE; this differs
+//! from the paper's joint PE/bank search only in that the PE choice is
+//! structural — the bank allocator below still sees the full set of
+//! occurrences per value, which restores most of the freedom constraint H
+//! is about (see DESIGN.md §4).
+//!
+//! **Bank allocation.** Block inputs/outputs ("io nodes") get home banks
+//! from the paper's greedy allocator: values with the fewest compatible
+//! banks first, random choice among compatible banks (objective J,
+//! balance), compatibility shrunk by constraint F (inputs of one exec in
+//! distinct banks) and G (outputs of one exec in distinct banks) as
+//! neighbors are fixed, and a least-contended fallback when no compatible
+//! bank remains (the residual conflicts are repaired with `copy`s at
+//! emission). A [`BankPolicy::Random`] mode reproduces the paper's random
+//! baseline (Fig. 10(b), 292× more conflicts).
+
+use std::collections::HashMap;
+
+use dpu_dag::{Dag, NodeId, Op};
+use dpu_isa::{interconnect, ArchConfig, PeId, PeOpcode};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ir::{BankAssignment, Block};
+use crate::step1::RawBlock;
+
+/// Bank-allocation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BankPolicy {
+    /// The paper's conflict-aware allocator (Algorithm 2).
+    #[default]
+    ConflictAware,
+    /// Uniform-random allocation within each value's writable banks — the
+    /// baseline of Fig. 10(b).
+    Random,
+}
+
+/// Maps the opcode of a DAG node to the PE opcode evaluating it.
+fn pe_opcode(op: Op) -> PeOpcode {
+    match op {
+        Op::Add => PeOpcode::Add,
+        Op::Mul => PeOpcode::Mul,
+        Op::Sub => PeOpcode::Sub,
+        Op::Div => PeOpcode::Div,
+        Op::Min => PeOpcode::Min,
+        Op::Max => PeOpcode::Max,
+        Op::Input => unreachable!("inputs are never placed on PEs"),
+    }
+}
+
+/// Spatially places every block: fills `pe_config`, `port_reads`,
+/// `outputs` and `inputs` of [`Block`].
+///
+/// `needs_store[v]` must be true for every value that must live in the
+/// register file: values consumed by a different block than the one
+/// computing them, and requested program outputs.
+pub fn place_blocks(
+    dag: &Dag,
+    cfg: &ArchConfig,
+    raw: Vec<RawBlock>,
+    needs_store: &[bool],
+) -> Vec<Block> {
+    let mut blocks = Vec::with_capacity(raw.len());
+    for rb in raw {
+        let mut blk = Block {
+            subgraphs: rb.subgraphs,
+            ..Block::default()
+        };
+        let mut occurrences: HashMap<NodeId, Vec<PeId>> = HashMap::new();
+        let mut inputs_seen: Vec<NodeId> = Vec::new();
+
+        for sg in &blk.subgraphs {
+            // Heights within the cone: leaves (operands outside the cone)
+            // count 0, so height(sink) == sg.depth.
+            let mut height: HashMap<NodeId, u32> = HashMap::new();
+            for &x in &sg.nodes {
+                let h = dag
+                    .preds(x)
+                    .iter()
+                    .map(|p| height.get(p).copied().unwrap_or(0))
+                    .max()
+                    .unwrap_or(0)
+                    + 1;
+                height.insert(x, h);
+            }
+            debug_assert_eq!(height[&sg.sink], sg.depth);
+
+            // Recursive top-down placement of the unrolled tree. `idx` is
+            // the PE index at `layer` within the whole tree.
+            let tree = sg.tree;
+            let root_idx = sg.leaf_offset >> sg.depth;
+            let mut stack: Vec<(NodeId, u32, u32)> = vec![(sg.sink, sg.depth, root_idx)];
+            while let Some((node, layer, idx)) = stack.pop() {
+                blk.pe_config
+                    .push((PeId::new(tree, layer, idx), pe_opcode(dag.op(node))));
+                occurrences
+                    .entry(node)
+                    .or_default()
+                    .push(PeId::new(tree, layer, idx));
+                let preds = dag.preds(node);
+                debug_assert_eq!(preds.len(), 2, "binarized compute nodes are 2-input");
+                for (side, &child) in preds.iter().enumerate() {
+                    let s = side as u32;
+                    let in_cone = height.contains_key(&child) && sg.nodes.contains(&child);
+                    let child_h = if in_cone { height[&child] } else { 0 };
+                    // Bypass padding along the always-left descend path
+                    // from (layer-1, 2·idx+s) down to the child's level.
+                    for lv in (child_h.max(1)..layer).rev() {
+                        if lv == layer {
+                            continue;
+                        }
+                        let bp_idx = (2 * idx + s) << (layer - 1 - lv);
+                        if in_cone && lv == child_h {
+                            break; // the child occupies this position
+                        }
+                        blk.pe_config
+                            .push((PeId::new(tree, lv, bp_idx), PeOpcode::BypassL));
+                    }
+                    if in_cone {
+                        let c_idx = (2 * idx + s) << (layer - 1 - child_h);
+                        stack.push((child, child_h, c_idx));
+                    } else {
+                        // Operand fetched from the register file at the
+                        // leftmost leaf port under this side.
+                        let port = (2 * idx + s) << (layer - 1);
+                        blk.port_reads
+                            .push((tree * cfg.ports_per_tree() + port, child));
+                        if !inputs_seen.contains(&child) {
+                            inputs_seen.push(child);
+                        }
+                    }
+                }
+            }
+        }
+
+        // io outputs of this block.
+        for sg in &blk.subgraphs {
+            for &x in &sg.nodes {
+                if needs_store[x.index()] {
+                    let mut occ = occurrences[&x].clone();
+                    // Prefer higher layers: more writable banks under the
+                    // per-layer output interconnect.
+                    occ.sort_by_key(|pe| std::cmp::Reverse(pe.layer));
+                    blk.outputs.push((x, occ));
+                }
+            }
+        }
+        blk.inputs = inputs_seen;
+        blocks.push(blk);
+    }
+    blocks
+}
+
+/// Assigns home banks to every io value (Algorithm 2).
+///
+/// `outputs_requested` marks program outputs (stored at the end); DAG
+/// inputs are detected from the DAG itself. Returns the assignment for use
+/// by [`crate::emit`].
+pub fn assign_banks(
+    dag: &Dag,
+    cfg: &ArchConfig,
+    blocks: &[Block],
+    outputs: &[NodeId],
+    policy: BankPolicy,
+    seed: u64,
+) -> BankAssignment {
+    let n = dag.len();
+    let banks = cfg.banks as usize;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xbad_c0de);
+
+    // io universe: block inputs ∪ block outputs.
+    let mut is_io = vec![false; n];
+    // Writable-bank options per io value.
+    let mut sb: Vec<Option<Vec<u32>>> = vec![None; n];
+    // simul_wr neighborhoods: outputs of the same block.
+    let mut out_block: Vec<Vec<usize>> = vec![Vec::new(); n]; // value -> blocks writing it (1)
+    let mut in_blocks: Vec<Vec<usize>> = vec![Vec::new(); n]; // value -> blocks reading it
+
+    for (bi, blk) in blocks.iter().enumerate() {
+        for &(v, ref occ) in &blk.outputs {
+            is_io[v.index()] = true;
+            let mut opts: Vec<u32> = Vec::new();
+            for pe in occ {
+                for b in interconnect::writable_banks(cfg, *pe) {
+                    if !opts.contains(&b) {
+                        opts.push(b);
+                    }
+                }
+            }
+            opts.sort_unstable();
+            sb[v.index()] = Some(opts);
+            out_block[v.index()].push(bi);
+        }
+        for &v in &blk.inputs {
+            is_io[v.index()] = true;
+            in_blocks[v.index()].push(bi);
+            if sb[v.index()].is_none() {
+                debug_assert_eq!(
+                    dag.op(v),
+                    Op::Input,
+                    "non-input io value must be a block output"
+                );
+                sb[v.index()] = Some((0..cfg.banks).collect());
+            }
+        }
+    }
+    // Program outputs that never pass through a block (degenerate case:
+    // a DAG input with no consumers that is still a requested output)
+    // also need a home bank for their load/store path.
+    for &v in outputs {
+        if !is_io[v.index()] {
+            is_io[v.index()] = true;
+            sb[v.index()] = Some((0..cfg.banks).collect());
+        }
+    }
+    for v in dag.nodes() {
+        if is_io[v.index()] && sb[v.index()].is_none() {
+            sb[v.index()] = Some((0..cfg.banks).collect());
+        }
+    }
+
+    let mut assignment = BankAssignment {
+        bank_of: vec![None; n],
+    };
+
+    if policy == BankPolicy::Random {
+        // The paper's baseline allocates uniformly at random over ALL
+        // banks, ignoring interconnect compatibility — incompatible picks
+        // surface as write conflicts repaired by copies at emission.
+        for v in dag.nodes() {
+            if is_io[v.index()] {
+                assignment.bank_of[v.index()] = Some(rng.gen_range(0..cfg.banks));
+            }
+        }
+        return assignment;
+    }
+
+    // Mnodes: buckets of unassigned io values keyed by |Sb| for O(B)
+    // min-compatible-bank selection (Algorithm 2 lines 9–18).
+    let mut bucket_of: Vec<usize> = vec![usize::MAX; n];
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); banks + 1];
+    let io_nodes: Vec<NodeId> = dag.nodes().filter(|v| is_io[v.index()]).collect();
+    for &v in &io_nodes {
+        let k = sb[v.index()].as_ref().expect("io has options").len();
+        bucket_of[v.index()] = k;
+        buckets[k].push(v);
+    }
+
+    let mut assigned = 0usize;
+    while assigned < io_nodes.len() {
+        // Lowest non-empty bucket; random member (objective J).
+        let (k, v) = loop {
+            let k = (0..=banks)
+                .find(|&k| !buckets[k].is_empty())
+                .expect("an unassigned io value exists");
+            let i = rng.gen_range(0..buckets[k].len());
+            let v = buckets[k].swap_remove(i);
+            // Skip stale entries (value moved buckets or already assigned).
+            if assignment.bank_of[v.index()].is_some() || bucket_of[v.index()] != k {
+                continue;
+            }
+            break (k, v);
+        };
+        let _ = k;
+
+        let opts = sb[v.index()].as_ref().expect("io has options");
+        let chosen = if !opts.is_empty() {
+            opts[rng.gen_range(0..opts.len())]
+        } else {
+            // No compatible bank: minimize conflicts by picking the bank
+            // least used by simultaneously-read/written neighbors
+            // (Algorithm 2 line 24). Conflicts will be repaired by copies.
+            let mut contention = vec![0u32; banks];
+            for &bi in out_block[v.index()].iter() {
+                for &(w, _) in &blocks[bi].outputs {
+                    if let Some(b) = assignment.bank_of[w.index()] {
+                        contention[b as usize] += 1;
+                    }
+                }
+            }
+            for &bi in in_blocks[v.index()].iter() {
+                for &r in &blocks[bi].inputs {
+                    if let Some(b) = assignment.bank_of[r.index()] {
+                        contention[b as usize] += 1;
+                    }
+                }
+            }
+            let min = *contention.iter().min().expect("banks > 0");
+            let cands: Vec<u32> = (0..banks as u32)
+                .filter(|&b| contention[b as usize] == min)
+                .collect();
+            cands[rng.gen_range(0..cands.len())]
+        };
+        assignment.bank_of[v.index()] = Some(chosen);
+        bucket_of[v.index()] = usize::MAX;
+        assigned += 1;
+
+        // Constraint G: same-block outputs must avoid this bank.
+        // Constraint F: co-read inputs must avoid this bank.
+        let restrict = |w: NodeId,
+                        sb: &mut Vec<Option<Vec<u32>>>,
+                        buckets: &mut Vec<Vec<NodeId>>,
+                        bucket_of: &mut Vec<usize>| {
+            if assignment.bank_of[w.index()].is_some() || w == v {
+                return;
+            }
+            let opts = sb[w.index()].as_mut().expect("io has options");
+            if let Some(pos) = opts.iter().position(|&b| b == chosen) {
+                opts.remove(pos);
+                let nk = opts.len();
+                bucket_of[w.index()] = nk;
+                buckets[nk].push(w);
+            }
+        };
+        for &bi in out_block[v.index()].iter() {
+            let outs: Vec<NodeId> = blocks[bi].outputs.iter().map(|&(w, _)| w).collect();
+            for w in outs {
+                restrict(w, &mut sb, &mut buckets, &mut bucket_of);
+            }
+        }
+        for &bi in in_blocks[v.index()].iter() {
+            let ins: Vec<NodeId> = blocks[bi].inputs.clone();
+            for w in ins {
+                restrict(w, &mut sb, &mut buckets, &mut bucket_of);
+            }
+        }
+    }
+
+    assignment
+}
+
+/// Computes which values must be written back to the register file:
+/// values consumed outside their producing block, plus `outputs`.
+pub fn compute_needs_store(dag: &Dag, raw: &[RawBlock], outputs: &[NodeId]) -> Vec<bool> {
+    let mut owner = vec![usize::MAX; dag.len()];
+    for (bi, b) in raw.iter().enumerate() {
+        for sg in &b.subgraphs {
+            for &x in &sg.nodes {
+                owner[x.index()] = bi;
+            }
+        }
+    }
+    let mut needs = vec![false; dag.len()];
+    for v in dag.nodes() {
+        for &p in dag.preds(v) {
+            if dag.op(p) == Op::Input {
+                continue;
+            }
+            if owner[p.index()] != owner[v.index()] {
+                needs[p.index()] = true;
+            }
+        }
+    }
+    for &o in outputs {
+        needs[o.index()] = true;
+    }
+    needs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step1::{decompose, validate_blocks};
+    use dpu_dag::DagBuilder;
+
+    fn pipeline(dag: &Dag, cfg: &ArchConfig) -> (Vec<Block>, BankAssignment) {
+        let mut mapped = vec![false; dag.len()];
+        let raw = decompose(dag, cfg, None, &mut mapped);
+        validate_blocks(dag, cfg, &raw).unwrap();
+        let outputs: Vec<NodeId> = dag.sinks().collect();
+        let needs = compute_needs_store(dag, &raw, &outputs);
+        let blocks = place_blocks(dag, cfg, raw, &needs);
+        let assign = assign_banks(dag, cfg, &blocks, &outputs, BankPolicy::ConflictAware, 7);
+        (blocks, assign)
+    }
+
+    fn small_dag() -> Dag {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let z = b.input();
+        let s = b.node(Op::Add, &[x, y]).unwrap();
+        let t = b.node(Op::Mul, &[s, z]).unwrap();
+        let u = b.node(Op::Sub, &[t, x]).unwrap();
+        b.node(Op::Div, &[u, y]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn placement_covers_all_nodes() {
+        let dag = small_dag();
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let (blocks, _) = pipeline(&dag, &cfg);
+        let placed: usize = blocks
+            .iter()
+            .flat_map(|b| &b.pe_config)
+            .filter(|(_, op)| !matches!(op, PeOpcode::BypassL | PeOpcode::BypassR))
+            .count();
+        // Each compute node occurs at least once (replication may add more).
+        assert!(placed >= dag.op_count());
+    }
+
+    #[test]
+    fn placement_pes_are_valid_and_unique_per_block() {
+        let dag = small_dag();
+        let cfg = ArchConfig::new(3, 8, 16).unwrap();
+        let (blocks, _) = pipeline(&dag, &cfg);
+        for blk in &blocks {
+            let mut seen = std::collections::HashSet::new();
+            for &(pe, _) in &blk.pe_config {
+                assert!(pe.is_valid(&cfg), "{pe} invalid");
+                assert!(seen.insert(pe.flat_index(&cfg)), "{pe} configured twice");
+            }
+        }
+    }
+
+    #[test]
+    fn ports_within_subgraph_slots() {
+        let dag = small_dag();
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let (blocks, _) = pipeline(&dag, &cfg);
+        for blk in &blocks {
+            for &(port, _) in &blk.port_reads {
+                assert!(port < cfg.banks);
+                let tree = port / cfg.ports_per_tree();
+                assert!(blk.subgraphs.iter().any(|sg| sg.tree == tree));
+            }
+        }
+    }
+
+    #[test]
+    fn bank_assignment_respects_connectivity() {
+        let dag = small_dag();
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let (blocks, assign) = pipeline(&dag, &cfg);
+        for blk in &blocks {
+            for (v, occ) in &blk.outputs {
+                let bank = assign.bank(*v);
+                // Conflict-aware assignment on an uncontended DAG should
+                // always find a compatible (occurrence, bank) pair.
+                assert!(
+                    occ.iter()
+                        .any(|pe| interconnect::can_write(&cfg, *pe, bank)),
+                    "value {v} bank {bank} unreachable from {occ:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_inputs_get_distinct_banks() {
+        let dag = small_dag();
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let (blocks, assign) = pipeline(&dag, &cfg);
+        for blk in &blocks {
+            let mut used = std::collections::HashSet::new();
+            for &v in &blk.inputs {
+                assert!(
+                    used.insert(assign.bank(v)),
+                    "two inputs of one block share bank {}",
+                    assign.bank(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_policy_assigns_everything() {
+        let dag = small_dag();
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let mut mapped = vec![false; dag.len()];
+        let raw = decompose(&dag, &cfg, None, &mut mapped);
+        let outputs: Vec<NodeId> = dag.sinks().collect();
+        let needs = compute_needs_store(&dag, &raw, &outputs);
+        let blocks = place_blocks(&dag, &cfg, raw, &needs);
+        let assign = assign_banks(&dag, &cfg, &blocks, &outputs, BankPolicy::Random, 3);
+        for blk in &blocks {
+            for &v in &blk.inputs {
+                assert!(assign.bank_of[v.index()].is_some());
+            }
+        }
+    }
+}

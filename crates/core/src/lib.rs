@@ -1,0 +1,148 @@
+//! High-level facade of the DPU-v2 reproduction.
+//!
+//! This crate re-exports every sub-crate and offers a one-call API, [`Dpu`],
+//! covering the common flow: configure → compile → run → measure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dpu_core::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Describe a computation DAG.
+//! let mut b = DagBuilder::new();
+//! let x = b.input();
+//! let y = b.input();
+//! let s = b.node(Op::Add, &[x, y])?;
+//! b.node(Op::Mul, &[s, s])?;
+//! let dag = b.finish()?;
+//!
+//! // 2. Compile it for the paper's min-EDP design and run it.
+//! let dpu = Dpu::min_edp();
+//! let program = dpu.compile(&dag)?;
+//! let run = dpu.execute(&program, &[1.0, 2.0])?;
+//! assert_eq!(run.outputs, vec![9.0]);
+//!
+//! // 3. Measure.
+//! let m = dpu.metrics(&run);
+//! assert!(m.energy_per_op_pj > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use dpu_baselines as baselines;
+pub use dpu_compiler as compiler;
+pub use dpu_dag as dag;
+pub use dpu_dse as dse;
+pub use dpu_energy as energy;
+pub use dpu_isa as isa;
+pub use dpu_sim as sim;
+pub use dpu_workloads as workloads;
+
+use dpu_compiler::{compile, CompileError, CompileOptions, Compiled};
+use dpu_dag::Dag;
+use dpu_energy::Metrics;
+use dpu_isa::ArchConfig;
+use dpu_sim::{RunResult, SimError, VerifyReport};
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use crate::Dpu;
+    pub use dpu_compiler::{CompileOptions, Compiled};
+    pub use dpu_dag::{Dag, DagBuilder, NodeId, Op};
+    pub use dpu_energy::Metrics;
+    pub use dpu_isa::{ArchConfig, Topology};
+    pub use dpu_sim::{RunResult, VerifyReport};
+}
+
+/// A configured DPU-v2 instance: an architecture point plus compiler
+/// options.
+#[derive(Debug, Clone, Default)]
+pub struct Dpu {
+    /// Architecture configuration.
+    pub config: ArchConfig,
+    /// Compiler options.
+    pub options: CompileOptions,
+}
+
+impl Dpu {
+    /// A DPU-v2 with the given configuration and default compiler options.
+    pub fn new(config: ArchConfig) -> Self {
+        Dpu {
+            config,
+            options: CompileOptions::default(),
+        }
+    }
+
+    /// The paper's min-EDP design point (`D=3, B=64, R=32`).
+    pub fn min_edp() -> Self {
+        Dpu::new(ArchConfig::min_edp())
+    }
+
+    /// The paper's large configuration DPU-v2 (L).
+    pub fn large() -> Self {
+        Dpu::new(ArchConfig::large())
+    }
+
+    /// Compiles `dag` for this instance.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile(&self, dag: &Dag) -> Result<Compiled, CompileError> {
+        compile(dag, &self.config, &self.options)
+    }
+
+    /// Runs a compiled program with the given DAG inputs.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`](dpu_sim::SimError).
+    pub fn execute(&self, compiled: &Compiled, inputs: &[f32]) -> Result<RunResult, SimError> {
+        dpu_sim::run(compiled, inputs)
+    }
+
+    /// Runs and verifies against the reference evaluator.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`](dpu_sim::SimError).
+    pub fn execute_verified(
+        &self,
+        compiled: &Compiled,
+        inputs: &[f32],
+    ) -> Result<VerifyReport, SimError> {
+        dpu_sim::run_and_verify(compiled, inputs)
+    }
+
+    /// Latency/energy/EDP metrics of a run on this configuration.
+    pub fn metrics(&self, run: &RunResult) -> Metrics {
+        dpu_energy::metrics(&self.config, run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_end_to_end() {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let s = b.node(Op::Add, &[x, y]).unwrap();
+        b.node(Op::Sub, &[s, x]).unwrap();
+        let dag = b.finish().unwrap();
+        let dpu = Dpu::min_edp();
+        let c = dpu.compile(&dag).unwrap();
+        let rep = dpu.execute_verified(&c, &[4.0, 5.0]).unwrap();
+        assert_eq!(rep.result.outputs, vec![5.0]);
+        let m = dpu.metrics(&rep.result);
+        assert!(m.latency_per_op_ns > 0.0);
+    }
+
+    #[test]
+    fn large_config_has_more_registers() {
+        assert!(Dpu::large().config.regs_per_bank > Dpu::min_edp().config.regs_per_bank);
+    }
+}

@@ -1,0 +1,164 @@
+use crate::{Dag, DagError, NodeId, Op};
+
+/// Incremental constructor for [`Dag`].
+///
+/// Nodes may only reference predecessors that already exist, so the builder
+/// is acyclic by construction and the insertion order is a valid topological
+/// order — an invariant the rest of the system relies on.
+///
+/// # Example
+///
+/// ```
+/// use dpu_dag::{DagBuilder, Op};
+///
+/// # fn main() -> Result<(), dpu_dag::DagError> {
+/// let mut b = DagBuilder::new();
+/// let a = b.input();
+/// let c = b.node(Op::Add, &[a, a])?;
+/// let dag = b.finish()?;
+/// assert_eq!(dag.preds(c), &[a, a]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct DagBuilder {
+    ops: Vec<Op>,
+    pred_offsets: Vec<u32>,
+    pred_data: Vec<NodeId>,
+}
+
+impl DagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        DagBuilder {
+            ops: Vec::new(),
+            pred_offsets: vec![0],
+            pred_data: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with room for `nodes` nodes and `edges` edges.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        let mut pred_offsets = Vec::with_capacity(nodes + 1);
+        pred_offsets.push(0);
+        DagBuilder {
+            ops: Vec::with_capacity(nodes),
+            pred_offsets,
+            pred_data: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no nodes were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Adds an external input (source) node and returns its id.
+    pub fn input(&mut self) -> NodeId {
+        let id = NodeId(self.ops.len() as u32);
+        self.ops.push(Op::Input);
+        self.pred_offsets.push(self.pred_data.len() as u32);
+        id
+    }
+
+    /// Adds an operation node reading `preds` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// - [`DagError::UnknownPredecessor`] if any predecessor id has not been
+    ///   created yet;
+    /// - [`DagError::MissingInputs`] if `preds` is empty;
+    /// - [`DagError::InputWithPredecessors`] if `op` is [`Op::Input`];
+    /// - [`DagError::ArityMismatch`] if `op` is strictly binary and
+    ///   `preds.len() != 2`.
+    pub fn node(&mut self, op: Op, preds: &[NodeId]) -> Result<NodeId, DagError> {
+        let id = NodeId(self.ops.len() as u32);
+        if op == Op::Input {
+            if preds.is_empty() {
+                return Ok(self.input());
+            }
+            return Err(DagError::InputWithPredecessors(id));
+        }
+        if preds.is_empty() {
+            return Err(DagError::MissingInputs(id));
+        }
+        if op.is_strictly_binary() && preds.len() != 2 {
+            return Err(DagError::ArityMismatch {
+                node: id,
+                got: preds.len(),
+            });
+        }
+        for &p in preds {
+            if p.index() >= self.ops.len() {
+                return Err(DagError::UnknownPredecessor { node: id, pred: p });
+            }
+        }
+        self.ops.push(op);
+        self.pred_data.extend_from_slice(preds);
+        self.pred_offsets.push(self.pred_data.len() as u32);
+        Ok(id)
+    }
+
+    /// Finalizes the builder into an immutable [`Dag`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::Empty`] if no nodes were added.
+    pub fn finish(self) -> Result<Dag, DagError> {
+        if self.ops.is_empty() {
+            return Err(DagError::Empty);
+        }
+        Ok(Dag::from_csr(self.ops, self.pred_offsets, self.pred_data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_forward_reference() {
+        let mut b = DagBuilder::new();
+        let a = b.input();
+        let err = b.node(Op::Add, &[a, NodeId(9)]).unwrap_err();
+        assert!(matches!(err, DagError::UnknownPredecessor { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_preds() {
+        let mut b = DagBuilder::new();
+        assert!(matches!(
+            b.node(Op::Add, &[]),
+            Err(DagError::MissingInputs(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unary_sub() {
+        let mut b = DagBuilder::new();
+        let a = b.input();
+        assert!(matches!(
+            b.node(Op::Sub, &[a]),
+            Err(DagError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_dag() {
+        assert_eq!(DagBuilder::new().finish().unwrap_err(), DagError::Empty);
+    }
+
+    #[test]
+    fn input_via_node_helper() {
+        let mut b = DagBuilder::new();
+        let a = b.node(Op::Input, &[]).unwrap();
+        assert_eq!(a, NodeId(0));
+        let dag = b.finish().unwrap();
+        assert_eq!(dag.op(a), Op::Input);
+    }
+}

@@ -1,0 +1,56 @@
+use std::fmt::Write as _;
+
+use crate::Dag;
+
+/// Renders `dag` in Graphviz DOT format, for debugging and documentation.
+///
+/// Node labels show the id and the operation; edges point from producer to
+/// consumer.
+///
+/// # Example
+///
+/// ```
+/// use dpu_dag::{DagBuilder, Op, to_dot};
+///
+/// # fn main() -> Result<(), dpu_dag::DagError> {
+/// let mut b = DagBuilder::new();
+/// let x = b.input();
+/// b.node(Op::Add, &[x, x])?;
+/// let dot = to_dot(&b.finish()?);
+/// assert!(dot.contains("digraph"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(dag: &Dag) -> String {
+    let mut s = String::with_capacity(dag.len() * 24);
+    s.push_str("digraph dag {\n  rankdir=BT;\n");
+    for n in dag.nodes() {
+        let _ = writeln!(s, "  {} [label=\"{} {}\"];", n, n, dag.op(n));
+    }
+    for n in dag.nodes() {
+        for &p in dag.preds(n) {
+            let _ = writeln!(s, "  {p} -> {n};");
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DagBuilder, Op};
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let s = b.node(Op::Mul, &[x, y]).unwrap();
+        let d = b.finish().unwrap();
+        let dot = to_dot(&d);
+        assert!(dot.contains("n0 -> n2"));
+        assert!(dot.contains("n1 -> n2"));
+        assert!(dot.contains(&format!("{s} [label=\"n2 *\"]")));
+    }
+}

@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced while constructing or transforming a DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// A node referenced a predecessor id that does not exist (forward
+    /// references would create cycles, so predecessors must already exist).
+    UnknownPredecessor {
+        /// The node being added.
+        node: NodeId,
+        /// The offending predecessor reference.
+        pred: NodeId,
+    },
+    /// A non-input node was created with no predecessors.
+    MissingInputs(NodeId),
+    /// An [`Op::Input`](crate::Op::Input) node was given predecessors.
+    InputWithPredecessors(NodeId),
+    /// A strictly-binary op (`Sub`, `Div`) was given a number of inputs
+    /// other than two.
+    ArityMismatch {
+        /// The offending node.
+        node: NodeId,
+        /// Number of inputs it was given.
+        got: usize,
+    },
+    /// The DAG is empty.
+    Empty,
+    /// A node id was out of range for this DAG.
+    NodeOutOfRange(NodeId),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownPredecessor { node, pred } => {
+                write!(f, "node {node} references unknown predecessor {pred}")
+            }
+            DagError::MissingInputs(n) => {
+                write!(f, "non-input node {n} has no predecessors")
+            }
+            DagError::InputWithPredecessors(n) => {
+                write!(f, "input node {n} must not have predecessors")
+            }
+            DagError::ArityMismatch { node, got } => {
+                write!(
+                    f,
+                    "strictly binary node {node} has {got} inputs, expected 2"
+                )
+            }
+            DagError::Empty => f.write_str("DAG has no nodes"),
+            DagError::NodeOutOfRange(n) => write!(f, "node id {n} out of range"),
+        }
+    }
+}
+
+impl Error for DagError {}

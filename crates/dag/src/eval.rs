@@ -1,0 +1,158 @@
+//! Reference interpreter for computation DAGs.
+//!
+//! Every compiled DPU-v2 program is validated against this evaluator: the
+//! simulator's data-memory image after running a program must match
+//! [`evaluate`]'s node values at the DAG sinks.
+
+use crate::{Dag, DagError, NodeId, Op};
+
+/// Evaluates every node of `dag`, reading external inputs from `inputs`
+/// (one value per [`Op::Input`] node, in node-id order).
+///
+/// Returns the value of every node, indexed by node id.
+///
+/// # Errors
+///
+/// Returns [`DagError::ArityMismatch`] if the number of supplied inputs does
+/// not match the DAG's input count (reported on the first missing node).
+///
+/// # Example
+///
+/// ```
+/// use dpu_dag::{DagBuilder, Op, eval};
+///
+/// # fn main() -> Result<(), dpu_dag::DagError> {
+/// let mut b = DagBuilder::new();
+/// let x = b.input();
+/// let y = b.input();
+/// let s = b.node(Op::Add, &[x, y])?;
+/// let dag = b.finish()?;
+/// let vals = eval::evaluate(&dag, &[2.0, 3.0])?;
+/// assert_eq!(vals[s.index()], 5.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn evaluate(dag: &Dag, inputs: &[f32]) -> Result<Vec<f32>, DagError> {
+    let mut vals = vec![0.0f32; dag.len()];
+    let mut next_input = 0usize;
+    for n in dag.nodes() {
+        let op = dag.op(n);
+        if op == Op::Input {
+            if next_input >= inputs.len() {
+                return Err(DagError::MissingInputs(n));
+            }
+            vals[n.index()] = inputs[next_input];
+            next_input += 1;
+            continue;
+        }
+        let preds = dag.preds(n);
+        let mut acc = vals[preds[0].index()];
+        for &p in &preds[1..] {
+            acc = op.apply(acc, vals[p.index()]);
+        }
+        vals[n.index()] = acc;
+    }
+    if next_input != inputs.len() {
+        return Err(DagError::ArityMismatch {
+            node: NodeId(dag.len() as u32),
+            got: inputs.len(),
+        });
+    }
+    Ok(vals)
+}
+
+/// Evaluates `dag` and returns only the sink values, in sink id order.
+///
+/// # Errors
+///
+/// Same as [`evaluate`].
+pub fn evaluate_sinks(dag: &Dag, inputs: &[f32]) -> Result<Vec<f32>, DagError> {
+    let vals = evaluate(dag, inputs)?;
+    Ok(dag.sinks().map(|s| vals[s.index()]).collect())
+}
+
+/// Compares two value slices with a relative tolerance suitable for the
+/// re-association introduced by binarization and tree mapping.
+pub fn values_close(a: &[f32], b: &[f32], rel_tol: f32) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(&x, &y)| {
+            if x.is_nan() || y.is_nan() {
+                // Deterministic saturation: the simulator and the reference
+                // perform the same operations, so NaN must match NaN.
+                return x.is_nan() && y.is_nan();
+            }
+            if x.is_infinite() || y.is_infinite() {
+                // Saturated log-domain values compare by sign (see the PC
+                // workload's log-domain semantics in dpu-workloads).
+                return x == y;
+            }
+            let scale = x.abs().max(y.abs()).max(1e-30);
+            (x - y).abs() <= rel_tol * scale
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DagBuilder;
+
+    #[test]
+    fn evaluates_diamond() {
+        let mut b = DagBuilder::new();
+        let a = b.input();
+        let l = b.node(Op::Add, &[a, a]).unwrap();
+        let r = b.node(Op::Mul, &[a, a]).unwrap();
+        let s = b.node(Op::Sub, &[l, r]).unwrap();
+        let d = b.finish().unwrap();
+        let v = evaluate(&d, &[3.0]).unwrap();
+        assert_eq!(v[l.index()], 6.0);
+        assert_eq!(v[r.index()], 9.0);
+        assert_eq!(v[s.index()], -3.0);
+        assert_eq!(evaluate_sinks(&d, &[3.0]).unwrap(), vec![-3.0]);
+    }
+
+    #[test]
+    fn evaluates_multi_input_fold_left() {
+        let mut b = DagBuilder::new();
+        let xs: Vec<_> = (0..4).map(|_| b.input()).collect();
+        let s = b.node(Op::Add, &xs).unwrap();
+        let d = b.finish().unwrap();
+        let v = evaluate(&d, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(v[s.index()], 10.0);
+    }
+
+    #[test]
+    fn input_count_mismatch_is_error() {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        b.node(Op::Add, &[x, x]).unwrap();
+        let d = b.finish().unwrap();
+        assert!(evaluate(&d, &[]).is_err());
+        assert!(evaluate(&d, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn binarize_preserves_values() {
+        let mut b = DagBuilder::new();
+        let xs: Vec<_> = (0..7).map(|_| b.input()).collect();
+        let m = b.node(Op::Mul, &xs).unwrap();
+        let s = b.node(Op::Add, &[m, xs[0], xs[1]]).unwrap();
+        let d = b.finish().unwrap();
+        let (bin, map) = d.binarize();
+        let inputs: Vec<f32> = (1..=7).map(|i| i as f32 * 0.25).collect();
+        let v0 = evaluate(&d, &inputs).unwrap();
+        let v1 = evaluate(&bin, &inputs).unwrap();
+        assert!(values_close(
+            &[v0[s.index()]],
+            &[v1[map[s.index()].index()]],
+            1e-5
+        ));
+    }
+
+    #[test]
+    fn values_close_tolerance() {
+        assert!(values_close(&[1.0], &[1.0 + 1e-7], 1e-5));
+        assert!(!values_close(&[1.0], &[1.1], 1e-5));
+        assert!(!values_close(&[1.0], &[1.0, 2.0], 1e-5));
+    }
+}

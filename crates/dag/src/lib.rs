@@ -1,0 +1,53 @@
+//! Directed-acyclic-graph substrate for the DPU-v2 reproduction.
+//!
+//! The paper (DPU-v2, MICRO 2022) executes *computation DAGs*: graphs whose
+//! nodes are fine-grained arithmetic operations (additions, multiplications,
+//! …) and whose edges are data dependencies. This crate provides the shared
+//! DAG infrastructure used by the workload generators, the compiler, the
+//! simulator and the baseline platform models:
+//!
+//! - [`Dag`] — an immutable, validated, arena-based DAG with CSR adjacency,
+//!   built through [`DagBuilder`];
+//! - [`Op`] — the arithmetic node kinds supported by the processing elements;
+//! - traversals — topological order, depth-first order ([`Dag::dfs_order`]),
+//!   per-node depth and the longest path ([`Dag::longest_path_len`]);
+//! - [`binarize`](Dag::binarize) — rewriting multi-input nodes into trees of
+//!   2-input nodes (compiler step 0, §IV-A of the paper);
+//! - [`eval`] — a reference interpreter used to verify every compiled
+//!   program end-to-end;
+//! - [`partition`] — a GRAPHOPT-style coarse partitioner used for DAGs with
+//!   more than ~20k nodes (§V-B of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use dpu_dag::{DagBuilder, Op};
+//!
+//! # fn main() -> Result<(), dpu_dag::DagError> {
+//! let mut b = DagBuilder::new();
+//! let x = b.input();
+//! let y = b.input();
+//! let sum = b.node(Op::Add, &[x, y])?;
+//! let prod = b.node(Op::Mul, &[sum, x])?;
+//! let dag = b.finish()?;
+//! assert_eq!(dag.len(), 4);
+//! assert_eq!(dag.sinks().collect::<Vec<_>>(), vec![prod]);
+//! # let _ = sum;
+//! # Ok(())
+//! # }
+//! ```
+
+mod builder;
+mod dag;
+mod dot;
+mod error;
+mod node;
+
+pub mod eval;
+pub mod partition;
+
+pub use builder::DagBuilder;
+pub use dag::Dag;
+pub use dot::to_dot;
+pub use error::DagError;
+pub use node::{NodeId, Op};

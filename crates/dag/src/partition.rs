@@ -1,0 +1,194 @@
+//! Coarse DAG partitioning in the style of GRAPHOPT (Shah et al., the
+//! paper's reference \[44\]).
+//!
+//! For very large DAGs (>100k nodes) the paper first decomposes the DAG
+//! into *partitions* of ~20k nodes each — "using the technique described in
+//! \[44\] (which scales linearly with DAG size), and then each partition is
+//! decomposed independently into blocks" (§V-B).
+//!
+//! GRAPHOPT builds *super-layers* whose parts execute independently. We
+//! reproduce the shape with a linear-time level grouping: nodes are
+//! bucketed by dependency depth; consecutive whole levels are folded into
+//! one partition until the size cap is reached, and a single level wider
+//! than the cap is split into independent chunks (safe, because a level
+//! has no internal edges). Partitions are predecessor-closed in index
+//! order: every edge points into the same or an earlier partition, which
+//! is exactly what the compiler's per-partition block decomposition needs.
+
+use crate::{Dag, NodeId};
+
+/// A set of nodes compiled as one unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Nodes of the partition, in topological order.
+    pub nodes: Vec<NodeId>,
+    /// Super-layer (group) index; parts sharing a group are mutually
+    /// independent (they are chunks of one wide level).
+    pub super_layer: usize,
+}
+
+/// Partitions `dag` into predecessor-closed parts of at most `max_nodes`
+/// nodes (see module docs).
+///
+/// # Panics
+///
+/// Panics if `max_nodes == 0`.
+pub fn partition(dag: &Dag, max_nodes: usize) -> Vec<Partition> {
+    assert!(max_nodes > 0, "max_nodes must be positive");
+    let levels = dag.layers();
+    let mut parts: Vec<Partition> = Vec::new();
+    let mut current: Vec<NodeId> = Vec::new();
+    let mut group = 0usize;
+
+    let flush = |current: &mut Vec<NodeId>, group: &mut usize, parts: &mut Vec<Partition>| {
+        if !current.is_empty() {
+            parts.push(Partition {
+                nodes: std::mem::take(current),
+                super_layer: *group,
+            });
+            *group += 1;
+        }
+    };
+
+    for level in levels {
+        if level.len() >= max_nodes {
+            // A level wider than the cap: flush, then split the level into
+            // independent chunks sharing one group.
+            flush(&mut current, &mut group, &mut parts);
+            for chunk in level.chunks(max_nodes) {
+                parts.push(Partition {
+                    nodes: chunk.to_vec(),
+                    super_layer: group,
+                });
+            }
+            group += 1;
+        } else {
+            if current.len() + level.len() > max_nodes {
+                flush(&mut current, &mut group, &mut parts);
+            }
+            current.extend(level);
+        }
+    }
+    flush(&mut current, &mut group, &mut parts);
+    parts
+}
+
+/// Checks the defining invariants of a partitioning of `dag`: every node
+/// appears exactly once, parts respect the size cap, every edge points to
+/// the same or an earlier partition, and parts sharing a super-layer have
+/// no edges between them.
+pub fn validate_partitions(dag: &Dag, parts: &[Partition], max_nodes: usize) -> bool {
+    let mut seen = vec![false; dag.len()];
+    let mut part_of = vec![usize::MAX; dag.len()];
+    for (pi, p) in parts.iter().enumerate() {
+        if p.nodes.is_empty() || p.nodes.len() > max_nodes {
+            return false;
+        }
+        for &v in &p.nodes {
+            if seen[v.index()] {
+                return false;
+            }
+            seen[v.index()] = true;
+            part_of[v.index()] = pi;
+        }
+    }
+    if !seen.iter().all(|&s| s) {
+        return false;
+    }
+    for v in dag.nodes() {
+        for &p in dag.preds(v) {
+            let (pp, pv) = (part_of[p.index()], part_of[v.index()]);
+            if pp > pv {
+                return false;
+            }
+            if pp != pv && parts[pp].super_layer == parts[pv].super_layer {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DagBuilder, Op};
+
+    fn chain(len: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        let mut prev = b.input();
+        for _ in 1..len {
+            prev = b.node(Op::Add, &[prev, prev]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    fn wide(inputs: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        let ins: Vec<_> = (0..inputs).map(|_| b.input()).collect();
+        for pair in ins.chunks(2) {
+            if pair.len() == 2 {
+                b.node(Op::Add, &[pair[0], pair[1]]).unwrap();
+            }
+        }
+        b.finish().unwrap()
+    }
+
+    fn layered(width: usize, depth: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        let mut level: Vec<_> = (0..width).map(|_| b.input()).collect();
+        for _ in 0..depth {
+            level = level
+                .iter()
+                .map(|&x| b.node(Op::Add, &[x, x]).unwrap())
+                .collect();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn chain_partitions_validate() {
+        let d = chain(100);
+        let parts = partition(&d, 16);
+        assert!(validate_partitions(&d, &parts, 16));
+        assert!(parts.len() >= 100 / 16);
+    }
+
+    #[test]
+    fn wide_dag_splits_levels_into_chunks() {
+        let d = wide(64);
+        let parts = partition(&d, 10);
+        assert!(validate_partitions(&d, &parts, 10));
+    }
+
+    #[test]
+    fn levels_are_grouped_not_fragmented() {
+        // 30 levels of 50 nodes with cap 500: ~10 levels per part, so the
+        // part count stays near nodes/cap instead of one part per level.
+        let d = layered(50, 30);
+        let parts = partition(&d, 500);
+        assert!(validate_partitions(&d, &parts, 500));
+        let expect = d.len().div_ceil(500);
+        assert!(
+            parts.len() <= expect + 3,
+            "parts = {}, expected ≈ {}",
+            parts.len(),
+            expect
+        );
+    }
+
+    #[test]
+    fn single_part_when_cap_exceeds_size() {
+        let d = wide(8);
+        let parts = partition(&d, 1000);
+        assert!(validate_partitions(&d, &parts, 1000));
+        assert_eq!(parts.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_nodes")]
+    fn zero_cap_panics() {
+        let d = chain(4);
+        let _ = partition(&d, 0);
+    }
+}

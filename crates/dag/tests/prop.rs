@@ -1,0 +1,102 @@
+//! Property-based tests for the DAG substrate.
+
+use dpu_dag::{eval, partition, Dag, DagBuilder, NodeId, Op};
+use proptest::prelude::*;
+
+/// Strategy: a random valid DAG described as (inputs, ops) where each op
+/// picks its operands from already-created nodes.
+fn arb_dag(max_nodes: usize) -> impl Strategy<Value = Dag> {
+    (
+        2usize..8,
+        proptest::collection::vec((0usize..4, any::<u32>(), any::<u32>()), 1..max_nodes),
+    )
+        .prop_map(|(n_inputs, ops)| {
+            let mut b = DagBuilder::new();
+            let mut ids: Vec<NodeId> = (0..n_inputs).map(|_| b.input()).collect();
+            for (op_sel, i, j) in ops {
+                let op = match op_sel {
+                    0 => Op::Add,
+                    1 => Op::Mul,
+                    2 => Op::Min,
+                    _ => Op::Max,
+                };
+                let a = ids[i as usize % ids.len()];
+                let c = ids[j as usize % ids.len()];
+                ids.push(b.node(op, &[a, c]).expect("operands exist"));
+            }
+            b.finish().expect("non-empty")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ids_are_topological(dag in arb_dag(120)) {
+        for v in dag.nodes() {
+            for &p in dag.preds(v) {
+                prop_assert!(p < v, "pred {p} >= node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn succs_mirror_preds(dag in arb_dag(120)) {
+        for v in dag.nodes() {
+            for &p in dag.preds(v) {
+                prop_assert!(dag.succs(p).contains(&v));
+            }
+        }
+        let edge_count: usize = dag.nodes().map(|v| dag.preds(v).len()).sum();
+        prop_assert_eq!(edge_count, dag.edge_count());
+    }
+
+    #[test]
+    fn depths_respect_edges(dag in arb_dag(120)) {
+        let d = dag.depths();
+        for v in dag.nodes() {
+            for &p in dag.preds(v) {
+                prop_assert!(d[p.index()] < d[v.index()]);
+            }
+        }
+        prop_assert_eq!(d.iter().copied().max().unwrap_or(0), dag.longest_path_len());
+    }
+
+    #[test]
+    fn dfs_order_is_permutation(dag in arb_dag(120)) {
+        let mut ord = dag.dfs_order();
+        ord.sort_unstable();
+        let expect: Vec<u32> = (0..dag.len() as u32).collect();
+        prop_assert_eq!(ord, expect);
+    }
+
+    #[test]
+    fn binarize_preserves_semantics(dag in arb_dag(80), seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let inputs: Vec<f32> = (0..dag.input_count()).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        let (bin, map) = dag.binarize();
+        prop_assert!(bin.is_binary());
+        let v0 = eval::evaluate(&dag, &inputs).unwrap();
+        let v1 = eval::evaluate(&bin, &inputs).unwrap();
+        for v in dag.nodes() {
+            prop_assert!(
+                eval::values_close(&[v0[v.index()]], &[v1[map[v.index()].index()]], 1e-3),
+                "node {v}: {} vs {}", v0[v.index()], v1[map[v.index()].index()]
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_are_valid(dag in arb_dag(200), cap in 4usize..64) {
+        let parts = partition::partition(&dag, cap);
+        prop_assert!(partition::validate_partitions(&dag, &parts, cap));
+    }
+
+    #[test]
+    fn layers_partition_nodes(dag in arb_dag(150)) {
+        let layers = dag.layers();
+        let total: usize = layers.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, dag.len());
+    }
+}

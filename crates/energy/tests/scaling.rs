@@ -1,0 +1,86 @@
+//! Scaling-law tests for the energy/area model: each architecture
+//! parameter must move cost in the direction the component model claims.
+
+use dpu_energy::{area_breakdown, area_mm2, energy_pj, metrics};
+use dpu_isa::ArchConfig;
+use dpu_sim::{Activity, RunResult};
+
+fn act(scale: u64) -> Activity {
+    Activity {
+        reg_reads: 100 * scale,
+        reg_writes: 60 * scale,
+        mem_reads: 5 * scale,
+        mem_writes: 3 * scale,
+        pe_arith_ops: 200 * scale,
+        pe_bypass_ops: 20 * scale,
+        execs: 10 * scale,
+        crossbar_hops: 150 * scale,
+        instr_bits_fetched: 1200 * scale,
+    }
+}
+
+#[test]
+fn area_grows_with_each_parameter() {
+    let base = ArchConfig::new(2, 16, 32).unwrap();
+    let deeper = ArchConfig::new(3, 16, 32).unwrap();
+    let wider = ArchConfig::new(2, 32, 32).unwrap();
+    let taller = ArchConfig::new(2, 16, 64).unwrap();
+    // Depth at fixed B reduces tree count but adds PEs per tree; the
+    // datapath area may shift, but B and R must strictly grow area.
+    assert!(area_mm2(&wider) > area_mm2(&base));
+    assert!(area_mm2(&taller) > area_mm2(&base));
+    let _ = deeper;
+}
+
+#[test]
+fn crossbar_area_is_quadratic_in_banks() {
+    let a8 = area_breakdown(&ArchConfig::new(2, 8, 32).unwrap());
+    let a64 = area_breakdown(&ArchConfig::new(2, 64, 32).unwrap());
+    let x8 = a8
+        .iter()
+        .find(|r| r.name == "Input interconnect")
+        .unwrap()
+        .area_mm2;
+    let x64 = a64
+        .iter()
+        .find(|r| r.name == "Input interconnect")
+        .unwrap()
+        .area_mm2;
+    let ratio = x64 / x8;
+    assert!(
+        (ratio - 64.0).abs() < 1.0,
+        "B x8 should scale crossbar ~x64, got {ratio}"
+    );
+}
+
+#[test]
+fn energy_is_linear_in_activity() {
+    let cfg = ArchConfig::min_edp();
+    let e1 = energy_pj(&cfg, &act(1), 1000);
+    let e2 = energy_pj(&cfg, &act(2), 2000);
+    assert!((e2 / e1 - 2.0).abs() < 0.01, "ratio {}", e2 / e1);
+}
+
+#[test]
+fn register_file_energy_grows_with_r() {
+    let small = ArchConfig::new(3, 64, 16).unwrap();
+    let big = ArchConfig::new(3, 64, 128).unwrap();
+    assert!(energy_pj(&big, &act(1), 1000) > energy_pj(&small, &act(1), 1000));
+}
+
+#[test]
+fn throughput_power_edp_are_consistent() {
+    let cfg = ArchConfig::min_edp();
+    let run = RunResult {
+        cycles: 5000,
+        outputs: vec![],
+        activity: act(5),
+        dag_ops: 9000,
+    };
+    let m = metrics(&cfg, &run);
+    // EDP = latency x energy; power = energy/time.
+    assert!((m.edp - m.latency_per_op_ns * m.energy_per_op_pj).abs() < 1e-9);
+    let seconds = 5000.0 / dpu_energy::calib::FREQ_HZ;
+    let e_j = m.energy_per_op_pj * 9000.0 * 1e-12;
+    assert!((m.power_w - e_j / seconds).abs() / m.power_w < 1e-9);
+}

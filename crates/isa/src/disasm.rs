@@ -1,0 +1,196 @@
+//! Human-readable disassembly of DPU-v2 programs.
+//!
+//! Renders one instruction per line in a compact assembly-like syntax —
+//! the debugging view of what the variable-length binary stream encodes:
+//!
+//! ```text
+//! 0000  load   r7 -> banks {0,3,12}
+//! 0001  exec   t0: (b3:5! b9:0) add -> b4 | t1: ...
+//! 0002  copy   b3:5! -> b8
+//! 0003  store4 r12 <- b0:1 b7:3!
+//! ```
+//!
+//! `bN:A` is bank N address A; a trailing `!` marks `valid_rst` (last
+//! read). Exec lines list each tree's active leaf reads, its PE ops
+//! bottom-up, and the writebacks `-> bN@layer`.
+
+use std::fmt::Write as _;
+
+use crate::{ArchConfig, Instr, PeOpcode, Program, RegRead};
+
+fn fmt_read(r: &RegRead) -> String {
+    format!(
+        "b{}:{}{}",
+        r.bank,
+        r.addr,
+        if r.valid_rst { "!" } else { "" }
+    )
+}
+
+/// Disassembles one instruction.
+pub fn disassemble_instr(cfg: &ArchConfig, instr: &Instr) -> String {
+    match instr {
+        Instr::Nop => "nop".to_string(),
+        Instr::Load { row, mask } => {
+            let banks: Vec<String> = mask
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| m)
+                .map(|(b, _)| b.to_string())
+                .collect();
+            format!("load   r{row} -> banks {{{}}}", banks.join(","))
+        }
+        Instr::Store { row, reads } => {
+            let srcs: Vec<String> = reads.iter().flatten().map(fmt_read).collect();
+            format!("store  r{row} <- {}", srcs.join(" "))
+        }
+        Instr::StoreK { row, reads } => {
+            let srcs: Vec<String> = reads.iter().map(fmt_read).collect();
+            format!("store4 r{row} <- {}", srcs.join(" "))
+        }
+        Instr::CopyK { moves } => {
+            let ms: Vec<String> = moves
+                .iter()
+                .map(|m| format!("{} -> b{}", fmt_read(&m.src), m.dst_bank))
+                .collect();
+            format!("copy   {}", ms.join(", "))
+        }
+        Instr::Exec(e) => {
+            let mut s = String::from("exec  ");
+            for t in 0..cfg.trees() {
+                let mut tree_txt = String::new();
+                // Reads on this tree's ports.
+                let base = (t * cfg.ports_per_tree()) as usize;
+                let reads: Vec<String> = (0..cfg.ports_per_tree() as usize)
+                    .filter_map(|i| e.reads[base + i].as_ref())
+                    .map(|r| {
+                        format!(
+                            "b{}:{}{}",
+                            r.bank,
+                            r.addr,
+                            if r.valid_rst { "!" } else { "" }
+                        )
+                    })
+                    .collect();
+                // Active PE ops, layer by layer.
+                let mut ops: Vec<String> = Vec::new();
+                for l in 1..=cfg.depth {
+                    for i in 0..cfg.pes_in_layer(l) {
+                        let pe = crate::PeId::new(t, l, i);
+                        let op = e.pe_ops[pe.flat_index(cfg) as usize];
+                        if op != PeOpcode::Nop {
+                            ops.push(format!("{op:?}@{l}.{i}").to_lowercase());
+                        }
+                    }
+                }
+                // Writebacks into this tree's banks.
+                let writes: Vec<String> = e
+                    .writes
+                    .iter()
+                    .enumerate()
+                    .filter(|(b, w)| w.is_some() && cfg.tree_of_bank(*b as u32) == t)
+                    .map(|(b, w)| {
+                        let pe = w.expect("filtered");
+                        format!("b{b}@{}", pe.layer)
+                    })
+                    .collect();
+                if reads.is_empty() && ops.is_empty() && writes.is_empty() {
+                    continue;
+                }
+                let _ = write!(
+                    tree_txt,
+                    "t{t}:({}) [{}] -> {}",
+                    reads.join(" "),
+                    ops.join(" "),
+                    if writes.is_empty() {
+                        "-".to_string()
+                    } else {
+                        writes.join(" ")
+                    }
+                );
+                if !s.ends_with("exec  ") {
+                    s.push_str(" | ");
+                }
+                s.push_str(&tree_txt);
+            }
+            s
+        }
+    }
+}
+
+/// Disassembles a whole program, one numbered line per instruction.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::with_capacity(program.len() * 48);
+    for (i, instr) in program.instrs.iter().enumerate() {
+        let _ = writeln!(out, "{i:04}  {}", disassemble_instr(&program.config, instr));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CopyMove, ExecInstr, PeId, PortRead};
+
+    fn cfg() -> ArchConfig {
+        ArchConfig::new(2, 8, 16).unwrap()
+    }
+
+    #[test]
+    fn nop_and_load() {
+        let cfg = cfg();
+        assert_eq!(disassemble_instr(&cfg, &Instr::Nop), "nop");
+        let mut mask = vec![false; 8];
+        mask[2] = true;
+        mask[5] = true;
+        let s = disassemble_instr(&cfg, &Instr::Load { row: 9, mask });
+        assert_eq!(s, "load   r9 -> banks {2,5}");
+    }
+
+    #[test]
+    fn copy_marks_last_reads() {
+        let cfg = cfg();
+        let c = Instr::CopyK {
+            moves: vec![CopyMove {
+                src: RegRead {
+                    bank: 1,
+                    addr: 4,
+                    valid_rst: true,
+                },
+                dst_bank: 6,
+            }],
+        };
+        assert_eq!(disassemble_instr(&cfg, &c), "copy   b1:4! -> b6");
+    }
+
+    #[test]
+    fn exec_shows_tree_structure() {
+        let cfg = cfg();
+        let mut e = ExecInstr::idle(&cfg);
+        let pe = PeId::new(0, 1, 0);
+        e.pe_ops[pe.flat_index(&cfg) as usize] = PeOpcode::Mul;
+        e.reads[0] = Some(PortRead {
+            bank: 3,
+            addr: 2,
+            valid_rst: false,
+        });
+        e.reads[1] = Some(PortRead {
+            bank: 5,
+            addr: 0,
+            valid_rst: true,
+        });
+        e.writes[1] = Some(pe);
+        let s = disassemble_instr(&cfg, &Instr::Exec(e));
+        assert!(s.contains("t0:(b3:2 b5:0!)"), "{s}");
+        assert!(s.contains("mul@1.0"), "{s}");
+        assert!(s.contains("-> b1@1"), "{s}");
+    }
+
+    #[test]
+    fn program_lines_are_numbered() {
+        let cfg = cfg();
+        let p = Program::new(cfg, vec![Instr::Nop, Instr::Nop]).unwrap();
+        let text = disassemble(&p);
+        assert!(text.starts_with("0000  nop\n0001  nop\n"));
+    }
+}

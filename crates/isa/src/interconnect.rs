@@ -1,0 +1,192 @@
+//! PE ↔ register-bank connectivity for the four topologies of Fig. 6.
+//!
+//! The *input* interconnect routes bank read ports to tree input ports; with
+//! a crossbar (topologies (a)–(c)) any port may read any bank. The *output*
+//! interconnect routes PE outputs to bank write ports and is where the
+//! topologies differ:
+//!
+//! - **(a)** full crossbar: any PE can write any bank;
+//! - **(b)** per-layer (`D:1` mux per bank, the paper's choice): PE
+//!   `(t, l, i)` can write the banks of its own input span, i.e. banks
+//!   `t·2^D + [i·2^l, (i+1)·2^l)`; equivalently, bank lane `p` of tree `t`
+//!   is writable from the single layer-`l` PE `p >> l` — one PE per layer;
+//! - **(c)** one PE per bank: PE `(t, l, i)` writes only bank
+//!   `t·2^D + pe_local_index` (a fixed 1:1 assignment; the last lane of each
+//!   tree has no exec writer and can only be filled by `load`/`copy`);
+//! - **(d)** like (c) on the output and one-to-one on the input.
+
+use crate::{ArchConfig, PeId, Topology};
+
+/// Returns the banks PE `pe` can write under `cfg.topology`, in ascending
+/// order.
+///
+/// # Panics
+///
+/// Panics if `pe` is out of range for `cfg`.
+pub fn writable_banks(cfg: &ArchConfig, pe: PeId) -> Vec<u32> {
+    assert!(pe.is_valid(cfg), "PE out of range");
+    let base = pe.tree * cfg.ports_per_tree();
+    match cfg.topology {
+        Topology::CrossbarBoth => (0..cfg.banks).collect(),
+        Topology::CrossbarInPerLayerOut => {
+            let span = 1u32 << pe.layer;
+            let start = base + pe.index * span;
+            (start..start + span).collect()
+        }
+        Topology::CrossbarInOnePeOut | Topology::OneToOneBoth => {
+            vec![base + pe.local_index(cfg)]
+        }
+    }
+}
+
+/// Returns the PEs that can write bank `bank` under `cfg.topology`.
+///
+/// For topology (b) this is exactly one PE per layer (`D` PEs total), which
+/// is what the per-bank `D:1` output mux in Fig. 5(a) selects among.
+///
+/// # Panics
+///
+/// Panics if `bank >= cfg.banks`.
+pub fn writer_pes(cfg: &ArchConfig, bank: u32) -> Vec<PeId> {
+    assert!(bank < cfg.banks, "bank out of range");
+    let tree = cfg.tree_of_bank(bank);
+    let lane = cfg.lane_of_bank(bank);
+    match cfg.topology {
+        Topology::CrossbarBoth => {
+            let mut pes = Vec::with_capacity(cfg.pe_count() as usize);
+            for t in 0..cfg.trees() {
+                for l in 1..=cfg.depth {
+                    for i in 0..cfg.pes_in_layer(l) {
+                        pes.push(PeId::new(t, l, i));
+                    }
+                }
+            }
+            pes
+        }
+        Topology::CrossbarInPerLayerOut => (1..=cfg.depth)
+            .map(|l| PeId::new(tree, l, lane >> l))
+            .collect(),
+        Topology::CrossbarInOnePeOut | Topology::OneToOneBoth => {
+            // Inverse of the 1:1 assignment pe.local_index() == lane.
+            PeId::from_local_index(cfg, tree, lane)
+                .into_iter()
+                .collect()
+        }
+    }
+}
+
+/// Whether PE `pe` can write `bank` under `cfg.topology`.
+pub fn can_write(cfg: &ArchConfig, pe: PeId, bank: u32) -> bool {
+    if cfg.tree_of_bank(bank) != pe.tree && !cfg.topology.output_is_crossbar() {
+        return false;
+    }
+    match cfg.topology {
+        Topology::CrossbarBoth => true,
+        Topology::CrossbarInPerLayerOut => cfg.lane_of_bank(bank) >> pe.layer == pe.index,
+        Topology::CrossbarInOnePeOut | Topology::OneToOneBoth => {
+            cfg.lane_of_bank(bank) == pe.local_index(cfg)
+        }
+    }
+}
+
+/// Banks readable by tree input port `port` (global port id `0..B`).
+///
+/// With an input crossbar (topologies (a)–(c)) every bank is readable from
+/// every port; topology (d) ties port `p` to bank `p`.
+pub fn readable_banks(cfg: &ArchConfig, port: u32) -> Vec<u32> {
+    assert!(port < cfg.banks, "port out of range");
+    if cfg.topology.input_is_crossbar() {
+        (0..cfg.banks).collect()
+    } else {
+        vec![port]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_b() -> ArchConfig {
+        ArchConfig::new(3, 16, 32).unwrap()
+    }
+
+    #[test]
+    fn per_layer_output_spans() {
+        let cfg = cfg_b();
+        // Leaf PE 0 of tree 0 covers lanes 0..2.
+        assert_eq!(writable_banks(&cfg, PeId::new(0, 1, 0)), vec![0, 1]);
+        // Layer-2 PE 1 of tree 0 covers lanes 4..8.
+        assert_eq!(writable_banks(&cfg, PeId::new(0, 2, 1)), vec![4, 5, 6, 7]);
+        // Root of tree 1 covers all of tree 1's banks.
+        assert_eq!(
+            writable_banks(&cfg, PeId::new(1, 3, 0)),
+            (8..16).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn per_layer_writers_are_one_per_layer() {
+        let cfg = cfg_b();
+        for bank in 0..cfg.banks {
+            let ws = writer_pes(&cfg, bank);
+            assert_eq!(ws.len(), cfg.depth as usize);
+            let mut layers: Vec<u32> = ws.iter().map(|p| p.layer).collect();
+            layers.sort_unstable();
+            assert_eq!(layers, vec![1, 2, 3]);
+            for pe in ws {
+                assert!(can_write(&cfg, pe, bank));
+            }
+        }
+    }
+
+    #[test]
+    fn writers_and_writable_are_inverse() {
+        for topo in Topology::all() {
+            let cfg = ArchConfig::with_topology(2, 8, 16, topo).unwrap();
+            for bank in 0..cfg.banks {
+                for pe in writer_pes(&cfg, bank) {
+                    assert!(
+                        writable_banks(&cfg, pe).contains(&bank),
+                        "{topo}: PE {pe:?} bank {bank}"
+                    );
+                }
+            }
+            for t in 0..cfg.trees() {
+                for l in 1..=cfg.depth {
+                    for i in 0..cfg.pes_in_layer(l) {
+                        let pe = PeId::new(t, l, i);
+                        for bank in writable_banks(&cfg, pe) {
+                            assert!(writer_pes(&cfg, bank).contains(&pe));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossbar_everything_connects() {
+        let cfg = ArchConfig::with_topology(2, 8, 16, Topology::CrossbarBoth).unwrap();
+        assert_eq!(
+            writable_banks(&cfg, PeId::new(0, 1, 0)).len(),
+            cfg.banks as usize
+        );
+        assert_eq!(writer_pes(&cfg, 3).len(), cfg.pe_count() as usize);
+    }
+
+    #[test]
+    fn one_pe_out_leaves_last_lane_unwritable() {
+        let cfg = ArchConfig::with_topology(2, 8, 16, Topology::CrossbarInOnePeOut).unwrap();
+        // 3 PEs per tree, 4 lanes: lane 3 has no writer.
+        assert!(writer_pes(&cfg, 3).is_empty());
+        assert_eq!(writer_pes(&cfg, 0).len(), 1);
+    }
+
+    #[test]
+    fn readable_banks_by_topology() {
+        let xb = ArchConfig::new(3, 16, 32).unwrap();
+        assert_eq!(readable_banks(&xb, 0).len(), 16);
+        let oo = ArchConfig::with_topology(3, 16, 32, Topology::OneToOneBoth).unwrap();
+        assert_eq!(readable_banks(&oo, 5), vec![5]);
+    }
+}

@@ -1,0 +1,779 @@
+//! Cycle-level simulator of the DPU-v2 architecture template (§III).
+//!
+//! The simulator executes a compiled [`Program`] on a software model of the
+//! micro-architecture:
+//!
+//! - `B` register banks of `R` registers, each with a valid bit and a
+//!   priority-encoder **automatic write-address generator** (§III-B,
+//!   Fig. 5(d)): the instruction stream never names write addresses, the
+//!   bank picks the lowest empty register itself;
+//! - `T` PE trees of depth `D` with per-PE opcodes (add/mul/sub/div/
+//!   min/max/bypass), registered outputs and a `D+1`-stage pipeline:
+//!   `exec` writebacks land `D` cycles after issue;
+//! - an input crossbar (with broadcast) and the configurable output
+//!   interconnect of Fig. 6;
+//! - a vector data memory of `B`-word rows (Fig. 5(b)).
+//!
+//! Timing is deterministic and must agree with the compiler's finalize
+//! replay: one instruction issues per cycle, and the simulator *checks*
+//! rather than tolerates hazards — reading an empty register, clashing
+//! writebacks or bank overflow abort the run ([`SimError`]). Functional
+//! results are compared against the reference evaluator by
+//! [`run_and_verify`], which is the end-to-end proof that compiler and
+//! architecture agree.
+//!
+//! # Example
+//!
+//! ```
+//! use dpu_dag::{DagBuilder, Op};
+//! use dpu_isa::ArchConfig;
+//! use dpu_compiler::{compile, CompileOptions};
+//! use dpu_sim::run_and_verify;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = DagBuilder::new();
+//! let x = b.input();
+//! let y = b.input();
+//! let s = b.node(Op::Add, &[x, y])?;
+//! b.node(Op::Mul, &[s, s])?;
+//! let dag = b.finish()?;
+//! let cfg = ArchConfig::new(2, 8, 16)?;
+//! let compiled = compile(&dag, &cfg, &CompileOptions::default())?;
+//! let report = run_and_verify(&compiled, &[1.5, 2.5])?;
+//! assert!(report.verified);
+//! assert!(report.result.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+
+use dpu_compiler::Compiled;
+use dpu_dag::eval;
+use dpu_isa::{encode, ArchConfig, Instr, PeOpcode, Program};
+
+use serde::{Deserialize, Serialize};
+
+/// Simulation errors — every variant indicates a compiler bug or a corrupt
+/// program, never a data-dependent condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A register was read while its valid bit was 0.
+    ReadInvalid {
+        /// Bank read.
+        bank: u32,
+        /// Address read.
+        addr: u32,
+        /// Issue cycle.
+        cycle: u64,
+    },
+    /// A bank received two writes in one cycle (single write port).
+    WritePortClash {
+        /// The bank.
+        bank: u32,
+        /// The cycle.
+        cycle: u64,
+    },
+    /// A bank had no empty register for an incoming write.
+    BankOverflow {
+        /// The bank.
+        bank: u32,
+        /// The cycle.
+        cycle: u64,
+    },
+    /// A `load`/`store` addressed a row outside the data memory.
+    RowOutOfRange {
+        /// The row.
+        row: u32,
+    },
+    /// An exec writeback selected an idle PE.
+    IdlePeWriteback {
+        /// The bank latching the idle output.
+        bank: u32,
+    },
+    /// A packed instruction image failed to decode.
+    BadImage {
+        /// Decoder diagnostic.
+        detail: String,
+    },
+    /// The simulator's outputs disagree with the reference evaluator.
+    Mismatch {
+        /// Index of the first mismatching output.
+        index: usize,
+        /// Simulator value.
+        got: f32,
+        /// Reference value.
+        expected: f32,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::ReadInvalid { bank, addr, cycle } => {
+                write!(f, "cycle {cycle}: read of empty register {bank}:{addr}")
+            }
+            SimError::WritePortClash { bank, cycle } => {
+                write!(f, "cycle {cycle}: two writes to bank {bank}")
+            }
+            SimError::BankOverflow { bank, cycle } => {
+                write!(f, "cycle {cycle}: bank {bank} overflowed")
+            }
+            SimError::RowOutOfRange { row } => write!(f, "data row {row} out of range"),
+            SimError::IdlePeWriteback { bank } => {
+                write!(f, "bank {bank} latches an idle PE output")
+            }
+            SimError::BadImage { detail } => write!(f, "packed image: {detail}"),
+            SimError::Mismatch {
+                index,
+                got,
+                expected,
+            } => {
+                write!(f, "output {index}: simulated {got}, reference {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Activity counters feeding the energy model (`dpu-energy`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Activity {
+    /// Register-file reads (one per distinct bank read per instruction).
+    pub reg_reads: u64,
+    /// Register-file writes.
+    pub reg_writes: u64,
+    /// Data-memory row reads (loads).
+    pub mem_reads: u64,
+    /// Data-memory row writes (stores).
+    pub mem_writes: u64,
+    /// Arithmetic PE evaluations (excluding bypasses).
+    pub pe_arith_ops: u64,
+    /// Bypass PE evaluations.
+    pub pe_bypass_ops: u64,
+    /// `exec` instructions issued.
+    pub execs: u64,
+    /// Crossbar traversals (port reads routed through the input crossbar
+    /// plus copy moves).
+    pub crossbar_hops: u64,
+    /// Instruction bits fetched (cycles × IL).
+    pub instr_bits_fetched: u64,
+}
+
+/// Result of one program run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Total cycles including the pipeline drain.
+    pub cycles: u64,
+    /// Output values read back from data memory, one per
+    /// [`dpu_compiler::DataLayout::output_slots`] entry.
+    pub outputs: Vec<f32>,
+    /// Activity counters.
+    pub activity: Activity,
+    /// Arithmetic DAG operations; operations / time gives the GOPS metric
+    /// the paper reports (DAG nodes, not PE activations).
+    pub dag_ops: u64,
+}
+
+/// The micro-architectural state.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: ArchConfig,
+    /// Register banks: `banks × regs` of optional values (None = invalid).
+    banks: Vec<Vec<Option<f32>>>,
+    /// Data memory as rows of `B` words.
+    data: Vec<Vec<f32>>,
+    /// In-flight exec writebacks: land at the *end* of the keyed cycle.
+    pending: HashMap<u64, Vec<(u32, f32)>>,
+    cycle: u64,
+    activity: Activity,
+}
+
+impl Machine {
+    /// Creates a machine with all registers invalid and zeroed data memory.
+    pub fn new(cfg: ArchConfig) -> Self {
+        Machine {
+            cfg,
+            banks: vec![vec![None; cfg.regs_per_bank as usize]; cfg.banks as usize],
+            data: vec![vec![0.0; cfg.banks as usize]; cfg.data_mem_rows as usize],
+            pending: HashMap::new(),
+            cycle: 0,
+            activity: Activity::default(),
+        }
+    }
+
+    /// Writes `value` into data-memory word `(row, col)` — the host-side
+    /// interface used to stage program inputs.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RowOutOfRange`] if `row` is out of range.
+    pub fn poke(&mut self, row: u32, col: u32, value: f32) -> Result<(), SimError> {
+        let r = self
+            .data
+            .get_mut(row as usize)
+            .ok_or(SimError::RowOutOfRange { row })?;
+        r[col as usize] = value;
+        Ok(())
+    }
+
+    /// Reads data-memory word `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RowOutOfRange`] if `row` is out of range.
+    pub fn peek(&self, row: u32, col: u32) -> Result<f32, SimError> {
+        self.data
+            .get(row as usize)
+            .map(|r| r[col as usize])
+            .ok_or(SimError::RowOutOfRange { row })
+    }
+
+    /// Elapsed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of valid (occupied) registers in each bank — the Fig. 10(c/d)
+    /// "active registers per bank" metric.
+    pub fn occupancy_per_bank(&self) -> Vec<u32> {
+        self.banks
+            .iter()
+            .map(|b| b.iter().filter(|r| r.is_some()).count() as u32)
+            .collect()
+    }
+
+    /// Total valid registers across all banks.
+    pub fn live_registers(&self) -> u32 {
+        self.occupancy_per_bank().iter().sum()
+    }
+
+    /// Accumulated activity counters.
+    pub fn activity(&self) -> Activity {
+        self.activity
+    }
+
+    fn read_reg(&mut self, bank: u32, addr: u32) -> Result<f32, SimError> {
+        self.banks[bank as usize][addr as usize].ok_or(SimError::ReadInvalid {
+            bank,
+            addr,
+            cycle: self.cycle,
+        })
+    }
+
+    /// Priority-encoder write: lowest invalid register (Fig. 5(d)).
+    fn auto_write(&mut self, bank: u32, value: f32) -> Result<(), SimError> {
+        let cycle = self.cycle;
+        let col = &mut self.banks[bank as usize];
+        let a = col
+            .iter()
+            .position(Option::is_none)
+            .ok_or(SimError::BankOverflow { bank, cycle })?;
+        col[a] = Some(value);
+        self.activity.reg_writes += 1;
+        Ok(())
+    }
+
+    /// Lands the exec writebacks scheduled for the end of the current
+    /// cycle. `extra_writes` lists banks already written this cycle by the
+    /// issuing instruction (write-port conflict detection).
+    fn land_pending(&mut self, extra_writes: &[u32]) -> Result<(), SimError> {
+        if let Some(list) = self.pending.remove(&self.cycle) {
+            let mut seen: Vec<u32> = extra_writes.to_vec();
+            for (bank, value) in list {
+                if seen.contains(&bank) {
+                    return Err(SimError::WritePortClash {
+                        bank,
+                        cycle: self.cycle,
+                    });
+                }
+                seen.push(bank);
+                self.auto_write(bank, value)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Issues one instruction (one cycle) and lands due writebacks.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn step(&mut self, instr: &Instr) -> Result<(), SimError> {
+        let cfg = self.cfg;
+        let mut immediate_writes: Vec<u32> = Vec::new();
+        match instr {
+            Instr::Nop => {}
+            Instr::Load { row, mask } => {
+                if *row >= cfg.data_mem_rows {
+                    return Err(SimError::RowOutOfRange { row: *row });
+                }
+                self.activity.mem_reads += 1;
+                let row_vals = self.data[*row as usize].clone();
+                for (bank, &m) in mask.iter().enumerate() {
+                    if m {
+                        self.auto_write(bank as u32, row_vals[bank])?;
+                        immediate_writes.push(bank as u32);
+                    }
+                }
+            }
+            Instr::Store { row, reads } => {
+                if *row >= cfg.data_mem_rows {
+                    return Err(SimError::RowOutOfRange { row: *row });
+                }
+                self.activity.mem_writes += 1;
+                for (bank, r) in reads.iter().enumerate() {
+                    if let Some(r) = r {
+                        let v = self.read_reg(r.bank, r.addr)?;
+                        self.activity.reg_reads += 1;
+                        if r.valid_rst {
+                            self.banks[r.bank as usize][r.addr as usize] = None;
+                        }
+                        self.data[*row as usize][bank] = v;
+                    }
+                }
+            }
+            Instr::StoreK { row, reads } => {
+                if *row >= cfg.data_mem_rows {
+                    return Err(SimError::RowOutOfRange { row: *row });
+                }
+                self.activity.mem_writes += 1;
+                for r in reads {
+                    let v = self.read_reg(r.bank, r.addr)?;
+                    self.activity.reg_reads += 1;
+                    if r.valid_rst {
+                        self.banks[r.bank as usize][r.addr as usize] = None;
+                    }
+                    self.data[*row as usize][r.bank as usize] = v;
+                }
+            }
+            Instr::CopyK { moves } => {
+                // All reads happen before any write lands (crossbar pass).
+                let mut staged = Vec::with_capacity(moves.len());
+                for m in moves {
+                    let v = self.read_reg(m.src.bank, m.src.addr)?;
+                    self.activity.reg_reads += 1;
+                    self.activity.crossbar_hops += 1;
+                    if m.src.valid_rst {
+                        self.banks[m.src.bank as usize][m.src.addr as usize] = None;
+                    }
+                    staged.push((m.dst_bank, v));
+                }
+                for (bank, v) in staged {
+                    self.auto_write(bank, v)?;
+                    immediate_writes.push(bank);
+                }
+            }
+            Instr::Exec(e) => {
+                self.activity.execs += 1;
+                // 1. Operand fetch through the input crossbar. Broadcast
+                // reads (same bank+addr on several ports) count once.
+                let mut port_vals: Vec<Option<f32>> = vec![None; cfg.banks as usize];
+                let mut fetched: HashMap<(u32, u32), f32> = HashMap::new();
+                for (port, r) in e.reads.iter().enumerate() {
+                    let Some(r) = r else { continue };
+                    let v = match fetched.get(&(r.bank, r.addr)) {
+                        Some(&v) => v,
+                        None => {
+                            let v = self.read_reg(r.bank, r.addr)?;
+                            self.activity.reg_reads += 1;
+                            fetched.insert((r.bank, r.addr), v);
+                            v
+                        }
+                    };
+                    self.activity.crossbar_hops += 1;
+                    port_vals[port] = Some(v);
+                }
+                // rst after all reads of the cycle (idempotent per bank).
+                for r in e.reads.iter().flatten() {
+                    if r.valid_rst {
+                        self.banks[r.bank as usize][r.addr as usize] = None;
+                    }
+                }
+                // 2. Evaluate the trees layer by layer.
+                let mut layer_out: Vec<Vec<Option<f32>>> = Vec::with_capacity(cfg.depth as usize);
+                for l in 1..=cfg.depth {
+                    let mut outs = vec![None; (cfg.trees() * cfg.pes_in_layer(l)) as usize];
+                    for t in 0..cfg.trees() {
+                        for i in 0..cfg.pes_in_layer(l) {
+                            let pe = dpu_isa::PeId::new(t, l, i);
+                            let op = e.pe_ops[pe.flat_index(&cfg) as usize];
+                            if op == PeOpcode::Nop {
+                                continue;
+                            }
+                            let (a, b) = if l == 1 {
+                                let base = (t * cfg.ports_per_tree() + 2 * i) as usize;
+                                (port_vals[base], port_vals[base + 1])
+                            } else {
+                                let prev = &layer_out[(l - 2) as usize];
+                                let base = (t * cfg.pes_in_layer(l - 1) + 2 * i) as usize;
+                                (prev[base], prev[base + 1])
+                            };
+                            let av = a.unwrap_or(f32::NAN);
+                            let bv = b.unwrap_or(f32::NAN);
+                            let out = op.apply(av, bv);
+                            if matches!(op, PeOpcode::BypassL | PeOpcode::BypassR) {
+                                self.activity.pe_bypass_ops += 1;
+                            } else {
+                                self.activity.pe_arith_ops += 1;
+                            }
+                            outs[(t * cfg.pes_in_layer(l) + i) as usize] = Some(out);
+                        }
+                    }
+                    layer_out.push(outs);
+                }
+                // 3. Schedule writebacks for cycle + D.
+                let land_at = self.cycle + u64::from(cfg.depth);
+                for (bank, w) in e.writes.iter().enumerate() {
+                    let Some(pe) = w else { continue };
+                    let outs = &layer_out[(pe.layer - 1) as usize];
+                    let v = outs[(pe.tree * cfg.pes_in_layer(pe.layer) + pe.index) as usize]
+                        .ok_or(SimError::IdlePeWriteback { bank: bank as u32 })?;
+                    self.pending
+                        .entry(land_at)
+                        .or_default()
+                        .push((bank as u32, v));
+                }
+            }
+        }
+        self.land_pending(&immediate_writes)?;
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Runs a whole program (plus pipeline drain) from the current state.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_program(&mut self, program: &Program) -> Result<(), SimError> {
+        let il = u64::from(encode::fetch_width(&program.config));
+        for instr in &program.instrs {
+            self.step(instr)?;
+            self.activity.instr_bits_fetched += il;
+        }
+        // Drain the pipeline.
+        while !self.pending.is_empty() {
+            self.land_pending(&[])?;
+            self.cycle += 1;
+        }
+        Ok(())
+    }
+
+    /// Runs a **packed** instruction-memory image: fetch `IL` bits per
+    /// cycle, align with the shifter, decode, execute — the full Fig. 7(b)
+    /// path rather than the pre-decoded list. Equivalent to
+    /// [`Machine::run_program`] on the unpacked program; used to verify
+    /// that the binary image is self-contained.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadImage`] if the stream does not decode; otherwise as
+    /// [`Machine::step`].
+    pub fn run_packed(&mut self, image: &[u8], count: usize) -> Result<(), SimError> {
+        let il = u64::from(encode::fetch_width(&self.cfg));
+        let mut reader = encode::BitReader::new(image);
+        for _ in 0..count {
+            let instr = encode::decode(&mut reader, &self.cfg).map_err(|e| SimError::BadImage {
+                detail: e.to_string(),
+            })?;
+            self.step(&instr)?;
+            self.activity.instr_bits_fetched += il;
+        }
+        while !self.pending.is_empty() {
+            self.land_pending(&[])?;
+            self.cycle += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Runs `compiled` with the given DAG `inputs` (in input-ordinal order):
+/// stages inputs into data memory, executes, and reads back outputs.
+///
+/// # Errors
+///
+/// See [`SimError`].
+///
+/// # Panics
+///
+/// Panics if `inputs` does not match the DAG's input count.
+pub fn run(compiled: &Compiled, inputs: &[f32]) -> Result<RunResult, SimError> {
+    assert_eq!(
+        inputs.len(),
+        compiled.layout.input_slots.len(),
+        "input count mismatch"
+    );
+    let mut m = Machine::new(compiled.program.config);
+    for (&(row, col), &v) in compiled.layout.input_slots.iter().zip(inputs) {
+        if row != u32::MAX {
+            m.poke(row, col, v)?;
+        }
+    }
+    m.run_program(&compiled.program)?;
+    let mut outputs = Vec::with_capacity(compiled.layout.output_slots.len());
+    for &(row, col) in &compiled.layout.output_slots {
+        outputs.push(m.peek(row, col)?);
+    }
+    Ok(RunResult {
+        cycles: m.cycle(),
+        outputs,
+        activity: m.activity(),
+        dag_ops: compiled.bin_dag.op_count() as u64,
+    })
+}
+
+/// Verification report from [`run_and_verify`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// The run result.
+    pub result: RunResult,
+    /// Whether all outputs matched the reference evaluator.
+    pub verified: bool,
+}
+
+/// Runs `compiled` and checks every output against the reference evaluator
+/// on the compiled (binarized) DAG.
+///
+/// # Errors
+///
+/// Any [`SimError`], including [`SimError::Mismatch`] on the first
+/// disagreeing output.
+pub fn run_and_verify(compiled: &Compiled, inputs: &[f32]) -> Result<VerifyReport, SimError> {
+    let result = run(compiled, inputs)?;
+    let reference = eval::evaluate(&compiled.bin_dag, inputs).expect("compiled DAG evaluates");
+    for (i, (&got, out_node)) in result
+        .outputs
+        .iter()
+        .zip(compiled.outputs.iter())
+        .enumerate()
+    {
+        let expected = reference[out_node.index()];
+        if !eval::values_close(&[got], &[expected], 1e-3) {
+            return Err(SimError::Mismatch {
+                index: i,
+                got,
+                expected,
+            });
+        }
+    }
+    Ok(VerifyReport {
+        result,
+        verified: true,
+    })
+}
+
+/// Throughput in operations per second at `freq_hz`, defined as the paper
+/// does: DAG operations divided by execution time.
+pub fn throughput_ops(result: &RunResult, freq_hz: f64) -> f64 {
+    result.dag_ops as f64 * freq_hz / result.cycles as f64
+}
+
+/// Result of a batch run across parallel cores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchResult {
+    /// Per-input run results, in input order.
+    pub runs: Vec<RunResult>,
+    /// Number of parallel cores modelled.
+    pub cores: usize,
+    /// Wall-clock cycles of the batch: cores execute independent inputs in
+    /// parallel, so the batch takes `ceil(inputs/cores)` rounds of the
+    /// (identical) program length.
+    pub batch_cycles: u64,
+}
+
+impl BatchResult {
+    /// Aggregate throughput of the batch in operations per second.
+    pub fn throughput_ops(&self, freq_hz: f64) -> f64 {
+        let ops: u64 = self.runs.iter().map(|r| r.dag_ops).sum();
+        ops as f64 * freq_hz / self.batch_cycles.max(1) as f64
+    }
+}
+
+/// Executes `compiled` once per input set on `cores` parallel cores —
+/// the paper's batch mode for DPU-v2 (L) (§V-C2: "the parallel cores can
+/// either perform batch execution (used for benchmarking) or execute
+/// different DAGs"). Cores are independent DPU-v2 instances running the
+/// same program on different data, so there is no inter-core
+/// synchronization; wall-clock is the longest round.
+///
+/// # Errors
+///
+/// Fails on the first input whose simulation fails (see [`SimError`]).
+///
+/// # Panics
+///
+/// Panics if `cores == 0` or `batch` is empty.
+pub fn run_batch(
+    compiled: &Compiled,
+    batch: &[Vec<f32>],
+    cores: usize,
+) -> Result<BatchResult, SimError> {
+    assert!(cores > 0, "cores must be positive");
+    assert!(!batch.is_empty(), "batch must not be empty");
+    let mut runs = Vec::with_capacity(batch.len());
+    for inputs in batch {
+        runs.push(run(compiled, inputs)?);
+    }
+    let rounds = batch.len().div_ceil(cores) as u64;
+    let per_run = runs.iter().map(|r| r.cycles).max().expect("non-empty");
+    Ok(BatchResult {
+        runs,
+        cores,
+        batch_cycles: rounds * per_run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_compiler::{compile, CompileOptions};
+    use dpu_dag::{DagBuilder, NodeId, Op};
+
+    fn compile_run(dag: &dpu_dag::Dag, cfg: &ArchConfig, inputs: &[f32]) -> VerifyReport {
+        let compiled = compile(dag, cfg, &CompileOptions::default()).unwrap();
+        run_and_verify(&compiled, inputs).unwrap()
+    }
+
+    #[test]
+    fn tiny_dag_end_to_end() {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let s = b.node(Op::Add, &[x, y]).unwrap();
+        b.node(Op::Mul, &[s, x]).unwrap();
+        let dag = b.finish().unwrap();
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let rep = compile_run(&dag, &cfg, &[3.0, 4.0]);
+        assert_eq!(rep.result.outputs, vec![21.0]);
+    }
+
+    #[test]
+    fn sub_div_ordering_is_respected() {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let d = b.node(Op::Sub, &[x, y]).unwrap();
+        b.node(Op::Div, &[d, y]).unwrap();
+        let dag = b.finish().unwrap();
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let rep = compile_run(&dag, &cfg, &[10.0, 2.0]);
+        assert_eq!(rep.result.outputs, vec![4.0]);
+    }
+
+    #[test]
+    fn random_dags_verify_across_configs() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(77);
+        for seed in 0..4u64 {
+            let mut b = DagBuilder::new();
+            let mut ids: Vec<NodeId> = (0..8).map(|_| b.input()).collect();
+            for _ in 0..120 {
+                let i = ids[rng.gen_range(0..ids.len())];
+                let j = ids[rng.gen_range(0..ids.len())];
+                let op = match rng.gen_range(0..4) {
+                    0 => Op::Add,
+                    1 => Op::Mul,
+                    2 => Op::Min,
+                    _ => Op::Max,
+                };
+                ids.push(b.node(op, &[i, j]).unwrap());
+            }
+            let dag = b.finish().unwrap();
+            let inputs: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            for (d, bk, r) in [(1u32, 4u32, 16u32), (2, 8, 16), (3, 16, 32)] {
+                let cfg = ArchConfig::new(d, bk, r).unwrap();
+                let rep = compile_run(&dag, &cfg, &inputs);
+                assert!(rep.verified, "seed {seed} cfg {d}/{bk}/{r}");
+            }
+        }
+    }
+
+    #[test]
+    fn spilling_config_still_verifies() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut b = DagBuilder::new();
+        let mut ids: Vec<NodeId> = (0..16).map(|_| b.input()).collect();
+        for _ in 0..300 {
+            let i = ids[rng.gen_range(0..ids.len())];
+            let j = ids[rng.gen_range(0..ids.len())];
+            ids.push(b.node(Op::Add, &[i, j]).unwrap());
+        }
+        let dag = b.finish().unwrap();
+        let cfg = ArchConfig::new(2, 8, 4).unwrap(); // tiny R forces spills
+        let compiled = compile(&dag, &cfg, &CompileOptions::default()).unwrap();
+        assert!(compiled.stats.spill_stores > 0);
+        let inputs: Vec<f32> = (0..16).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+        let rep = run_and_verify(&compiled, &inputs).unwrap();
+        assert!(rep.verified);
+    }
+
+    #[test]
+    fn cycles_match_compiler_prediction() {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let s = b.node(Op::Add, &[x, y]).unwrap();
+        b.node(Op::Mul, &[s, s]).unwrap();
+        let dag = b.finish().unwrap();
+        let cfg = ArchConfig::new(3, 16, 32).unwrap();
+        let compiled = compile(&dag, &cfg, &CompileOptions::default()).unwrap();
+        let rep = run_and_verify(&compiled, &[1.0, 2.0]).unwrap();
+        assert_eq!(rep.result.cycles, compiled.stats.total_cycles);
+    }
+
+    #[test]
+    fn machine_detects_empty_register_read() {
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let mut m = Machine::new(cfg);
+        let instr = Instr::StoreK {
+            row: 0,
+            reads: vec![dpu_isa::RegRead {
+                bank: 0,
+                addr: 0,
+                valid_rst: false,
+            }],
+        };
+        assert!(matches!(
+            m.step(&instr),
+            Err(SimError::ReadInvalid {
+                bank: 0,
+                addr: 0,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn machine_detects_overflow() {
+        let cfg = ArchConfig::new(1, 2, 2).unwrap();
+        let mut m = Machine::new(cfg);
+        let mask = vec![true, false];
+        for _ in 0..2 {
+            m.step(&Instr::Load {
+                row: 0,
+                mask: mask.clone(),
+            })
+            .unwrap();
+        }
+        assert!(matches!(
+            m.step(&Instr::Load { row: 0, mask }),
+            Err(SimError::BankOverflow { bank: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn throughput_definition() {
+        let r = RunResult {
+            cycles: 100,
+            outputs: vec![],
+            activity: Activity::default(),
+            dag_ops: 50,
+        };
+        assert!((throughput_ops(&r, 300e6) - 150e6).abs() < 1.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! End-to-end: real workload classes compile, run, and verify.
+
+use dpu_compiler::{compile, CompileOptions};
+use dpu_isa::ArchConfig;
+use dpu_sim::run_and_verify;
+use dpu_workloads::pc::{generate_pc, pc_inputs, PcParams};
+use dpu_workloads::sparse::{generate_lower_triangular, LowerTriangularParams};
+use dpu_workloads::sptrsv::{solve_reference, SptrsvDag};
+
+#[test]
+fn pc_workload_verifies_on_min_edp() {
+    let dag = generate_pc(&PcParams::with_targets(2_000, 18), 42);
+    let cfg = ArchConfig::min_edp();
+    let compiled = compile(&dag, &cfg, &CompileOptions::default()).unwrap();
+    let inputs = pc_inputs(&dag, 7);
+    let rep = run_and_verify(&compiled, &inputs).unwrap();
+    assert!(rep.verified);
+    println!(
+        "PC: {} nodes, {} instrs, {} cycles, util {:.2}",
+        dag.len(),
+        compiled.program.len(),
+        rep.result.cycles,
+        compiled.stats.pe_utilization
+    );
+}
+
+#[test]
+fn sptrsv_workload_verifies_and_solves() {
+    let p = LowerTriangularParams {
+        dim: 150,
+        avg_nnz_per_row: 4.0,
+        band_fraction: 0.7,
+        band: 8,
+    };
+    let l = generate_lower_triangular(&p, 3);
+    let s = SptrsvDag::build(&l);
+    let b: Vec<f32> = (0..l.dim).map(|i| (i as f32 * 0.37).sin()).collect();
+
+    let cfg = ArchConfig::new(3, 16, 64).unwrap();
+    let compiled = compile(&s.dag, &cfg, &CompileOptions::default()).unwrap();
+    let rep = run_and_verify(&compiled, &s.inputs(&l, &b)).unwrap();
+    assert!(rep.verified);
+
+    // The stored outputs include every x_i (they are DAG sinks only if
+    // unused; solution extraction goes through sink slots) — instead check
+    // against the reference via the DAG evaluator path, which run_and_verify
+    // already did. Here additionally sanity-check the reference solver.
+    let x = solve_reference(&l, &b);
+    assert_eq!(x.len(), l.dim);
+}

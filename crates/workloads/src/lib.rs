@@ -1,0 +1,36 @@
+//! Workload generators for the DPU-v2 reproduction.
+//!
+//! The paper evaluates on two classes of irregular computation DAGs
+//! (§V-A, Table I):
+//!
+//! - **Probabilistic circuits (PC)** — sum-product networks used for
+//!   tractable probabilistic inference. The published benchmarks come from
+//!   the UCLA StarAI circuit zoo; this crate generates *synthetic* circuits
+//!   matched to each benchmark's published node count and longest-path
+//!   length (see DESIGN.md §1 for the substitution argument).
+//! - **Sparse matrix triangular solves (SpTRSV)** — the compute DAG of a
+//!   forward substitution `L·x = b`. The published benchmarks are
+//!   SuiteSparse matrices; this crate generates synthetic sparse
+//!   lower-triangular matrices with matched statistics and also parses the
+//!   Matrix Market format so real matrices can be used when available.
+//!
+//! The [`suite`] module lists the paper's Table I benchmarks with seeds, so
+//! every experiment binary regenerates identical DAGs.
+//!
+//! # Example
+//!
+//! ```
+//! use dpu_workloads::pc::{PcParams, generate_pc};
+//!
+//! let dag = generate_pc(&PcParams::with_targets(2_000, 20), 42);
+//! assert!(dag.len() > 1_000);
+//! let (bin, _) = dag.binarize();
+//! assert!(bin.is_binary());
+//! ```
+
+pub mod pc;
+pub mod sparse;
+pub mod sptrsv;
+pub mod suite;
+
+pub use suite::{BenchmarkSpec, WorkloadClass};

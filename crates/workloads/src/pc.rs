@@ -1,0 +1,230 @@
+//! Synthetic probabilistic circuits (sum-product networks).
+//!
+//! A probabilistic circuit is an irregular DAG whose internal nodes are sums
+//! and products over leaf distributions (§V-A). The published benchmarks
+//! (tretail, mnist, …, mildew) are PSDDs from the UCLA StarAI zoo; this
+//! module generates circuits matched to their published statistics: total
+//! node count `n` and longest path `l` (Table I). The generator builds `l`
+//! layers of alternating product/sum nodes with 2–4 inputs each, sampling
+//! operands mostly from the previous layer with occasional skip connections
+//! to earlier layers — the "seemingly random" connectivity that makes these
+//! DAGs hostile to SIMD (§I).
+//!
+//! ## Log-domain MPE semantics
+//!
+//! Deep unweighted sum-product circuits overflow/underflow `f32`
+//! doubly-exponentially in their depth — which is exactly why real PC
+//! implementations evaluate in the log domain (and why the paper's DPU-v1
+//! predecessor used posit arithmetic). The circuits generated here use the
+//! *log-domain MPE (most probable explanation) query*: product nodes become
+//! [`Op::Add`] (sum of log-probabilities) and sum nodes become [`Op::Max`]
+//! (Viterbi-style maximization). This is a standard PC inference query with
+//! the same DAG structure, node counts and irregularity as probability
+//! computation, and its values stay representable (and NaN-free: sums and
+//! maxima of finite negative logs can only saturate monotonically), so
+//! every compiled program can be verified bit-for-bit against the reference
+//! evaluator.
+
+use dpu_dag::{Dag, DagBuilder, NodeId, Op};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the synthetic PC generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PcParams {
+    /// Target total node count (inputs + operations).
+    pub target_nodes: usize,
+    /// Target longest path in edges (number of alternating layers).
+    pub target_depth: usize,
+    /// Fraction of operands drawn from layers older than the previous one
+    /// (skip connections); drives the irregularity of register lifetimes.
+    pub skip_fraction: f64,
+    /// Maximum node fan-in before binarization (2–4 in real PSDDs).
+    pub max_fanin: usize,
+}
+
+impl PcParams {
+    /// Parameters hitting the published `(n, l)` statistics of Table I.
+    pub fn with_targets(target_nodes: usize, target_depth: usize) -> Self {
+        PcParams {
+            target_nodes,
+            target_depth: target_depth.max(3),
+            skip_fraction: 0.15,
+            max_fanin: 4,
+        }
+    }
+}
+
+/// Generates a synthetic probabilistic circuit.
+///
+/// The returned DAG has node count within a few percent of
+/// `params.target_nodes` and longest path exactly `params.target_depth`
+/// (a chain of layers ending in a single root). Product (log-domain
+/// [`Op::Add`]) and sum ([`Op::Max`]) layers alternate; leaves are
+/// [`Op::Input`] log-probability nodes — see the module docs and
+/// DESIGN.md §4 for the log-domain MPE substitution.
+///
+/// The same `(params, seed)` pair always generates the same DAG.
+///
+/// # Panics
+///
+/// Panics if `target_nodes` is too small to fit the requested depth
+/// (fewer than ~3 nodes per layer).
+pub fn generate_pc(params: &PcParams, seed: u64) -> Dag {
+    let depth = params.target_depth;
+    assert!(
+        params.target_nodes >= 3 * depth,
+        "target_nodes {} too small for depth {}",
+        params.target_nodes,
+        depth
+    );
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+
+    // Budget: inputs take ~30% of the nodes, the rest is spread over
+    // `depth` layers tapering towards a single root.
+    let n_inputs = (params.target_nodes * 3 / 10).max(4);
+    let n_internal = params.target_nodes - n_inputs;
+    // Layer widths: linear taper from 2w/… to a root of 1; solve the sum.
+    let avg_width = (n_internal as f64 / depth as f64).max(1.0);
+
+    let mut b = DagBuilder::with_capacity(params.target_nodes + depth, params.target_nodes * 3);
+    let inputs: Vec<NodeId> = (0..n_inputs).map(|_| b.input()).collect();
+
+    let mut prev_layer: Vec<NodeId> = inputs.clone();
+    // Skip connections reach a few layers back (real PSDD sharing is
+    // local: sub-circuits are reused by nearby parents, not across the
+    // whole circuit); unbounded skips would make register lifetimes — and
+    // spill traffic — grow with circuit height.
+    const SKIP_REACH: usize = 3;
+    let mut recent: Vec<Vec<NodeId>> = Vec::new();
+    let mut remaining = n_internal;
+
+    for layer in 0..depth {
+        let layers_left = depth - layer;
+        let mut width = if layers_left == 1 {
+            1
+        } else {
+            // Taper: last layers shrink towards the root.
+            let taper = 1.0 + (layers_left as f64 / depth as f64 - 0.5);
+            ((avg_width * taper).round() as usize)
+                .clamp(2, remaining.saturating_sub(layers_left - 1).max(2))
+        };
+        if width > remaining {
+            width = remaining.max(1);
+        }
+        // Log-domain MPE: products are Adds of log-probabilities, sums are
+        // Maxes (see module docs).
+        let op = if layer % 2 == 0 { Op::Add } else { Op::Max };
+        // Coverage first: every previous-layer node is assigned to exactly
+        // one consumer so the finished circuit has a single root (real PCs
+        // are single-rooted, and unconsumed nodes would be dead code).
+        let mut assigned: Vec<Vec<NodeId>> = vec![Vec::new(); width];
+        for (j, &p) in prev_layer.iter().enumerate() {
+            assigned[j * width / prev_layer.len()].push(p);
+        }
+        // Real PSDDs inherit locality from their vtree: a node's operands
+        // sit near each other in the previous layer. Operands are drawn
+        // from a window around the node's relative position; this keeps
+        // register lifetimes bounded (as in the published circuits) while
+        // the connections within the window stay irregular.
+        const WINDOW: usize = 16;
+        let local = |pool: &[NodeId], i: usize, rng: &mut SmallRng| -> NodeId {
+            let center = i * pool.len() / width.max(1);
+            let lo = center.saturating_sub(WINDOW);
+            let hi = (center + WINDOW).min(pool.len() - 1);
+            pool[rng.gen_range(lo..=hi)]
+        };
+        let mut this_layer = Vec::with_capacity(width);
+        for (i, mut preds) in assigned.into_iter().enumerate() {
+            if preds.is_empty() {
+                preds.push(local(&prev_layer, i, &mut rng));
+            }
+            let fanin = rng.gen_range(2..=params.max_fanin.max(2));
+            while preds.len() < fanin {
+                let from_old = !recent.is_empty() && rng.gen_bool(params.skip_fraction);
+                let pool: &[NodeId] = if from_old {
+                    &recent[rng.gen_range(0..recent.len())]
+                } else {
+                    &prev_layer
+                };
+                preds.push(local(pool, i, &mut rng));
+            }
+            this_layer.push(b.node(op, &preds).expect("valid by construction"));
+        }
+        remaining = remaining.saturating_sub(width);
+        recent.push(prev_layer.clone());
+        if recent.len() > SKIP_REACH {
+            recent.remove(0);
+        }
+        prev_layer = this_layer;
+    }
+
+    b.finish().expect("non-empty")
+}
+
+/// Draws input values suitable for log-domain PC evaluation: uniform
+/// log-probabilities in `[-1, -0.01]`. Internal values stay negative and
+/// finite for all but multi-million-node circuits, and can never become
+/// NaN (only `Add` and `Max` appear, so saturation is monotone).
+pub fn pc_inputs(dag: &Dag, seed: u64) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..dag.input_count())
+        .map(|_| rng.gen_range(-1.0f32..-0.01))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_dag::eval;
+
+    #[test]
+    fn hits_node_and_depth_targets() {
+        let p = PcParams::with_targets(5_000, 30);
+        let dag = generate_pc(&p, 7);
+        let n = dag.len() as f64;
+        assert!((n - 5_000.0).abs() / 5_000.0 < 0.1, "n = {n}");
+        assert_eq!(dag.longest_path_len() as usize, 30);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = PcParams::with_targets(1_000, 10);
+        let a = generate_pc(&p, 1);
+        let b = generate_pc(&p, 1);
+        let c = generate_pc(&p, 2);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert!(a.len() != c.len() || a.edge_count() != c.edge_count());
+    }
+
+    #[test]
+    fn single_root() {
+        let dag = generate_pc(&PcParams::with_targets(2_000, 15), 3);
+        assert_eq!(dag.sinks().count(), 1);
+    }
+
+    #[test]
+    fn evaluates_without_underflow() {
+        let dag = generate_pc(&PcParams::with_targets(3_000, 25), 11);
+        let inputs = pc_inputs(&dag, 99);
+        let vals = eval::evaluate(&dag, &inputs).unwrap();
+        let root = dag.sinks().next().unwrap();
+        let v = vals[root.index()];
+        assert!(v.is_finite(), "root = {v}");
+        assert!(v < 0.0, "log-probabilities must stay negative: {v}");
+    }
+
+    #[test]
+    fn alternating_ops() {
+        let dag = generate_pc(&PcParams::with_targets(1_000, 8), 5);
+        let depths = dag.depths();
+        // All nodes at DAG depth 1 sit in the first generated layer
+        // (log-domain product = Add).
+        for n in dag.nodes() {
+            if depths[n.index()] == 1 && dag.op(n) != Op::Input {
+                assert_eq!(dag.op(n), Op::Add);
+            }
+        }
+    }
+}

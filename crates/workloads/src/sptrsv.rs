@@ -1,0 +1,231 @@
+//! Sparse triangular solve (SpTRSV) as a computation DAG.
+//!
+//! Forward substitution on a lower-triangular `L` computes
+//! `x_i = (b_i − Σ_{j<i} L_ij · x_j) / L_ii` row by row. Because each `x_i`
+//! depends on earlier `x_j`, the compute DAG has long producer-consumer
+//! chains (the paper's `l` column in Table I) — the *inductive* parallelism
+//! pattern that distinguishes SpTRSV from SpMV (§VI).
+//!
+//! In the paper's deployment scenario, the sparsity pattern of `L` is static
+//! while the values of `L` and `b` change between executions (§I). The DAG
+//! built here therefore treats every matrix value and every `b_i` as an
+//! [`Op::Input`], so the same compiled program serves all value sets.
+
+use dpu_dag::{Dag, DagBuilder, NodeId, Op};
+
+use crate::sparse::CsrMatrix;
+
+/// A SpTRSV compute DAG plus the bookkeeping to feed it inputs and read
+/// back the solution.
+#[derive(Debug, Clone)]
+pub struct SptrsvDag {
+    /// The computation DAG.
+    pub dag: Dag,
+    /// Node computing each `x_i`.
+    pub x_nodes: Vec<NodeId>,
+    /// Matrix dimension.
+    pub dim: usize,
+    /// Number of stored nonzeros of the matrix the DAG was built from.
+    pub nnz: usize,
+}
+
+impl SptrsvDag {
+    /// Builds the forward-substitution DAG for lower-triangular `l`.
+    ///
+    /// Input order (for [`SptrsvDag::inputs`] and
+    /// [`dpu_dag::eval::evaluate`]): all `b_i` first, then the CSR values of
+    /// `l` row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not lower triangular with a full diagonal.
+    pub fn build(l: &CsrMatrix) -> SptrsvDag {
+        assert!(l.is_lower_triangular(), "matrix must be lower triangular");
+        let n = l.dim;
+        let mut b = DagBuilder::with_capacity(2 * l.nnz() + 2 * n, 4 * l.nnz());
+
+        let b_in: Vec<NodeId> = (0..n).map(|_| b.input()).collect();
+        // One input per stored value, in CSR order.
+        let val_in: Vec<NodeId> = (0..l.nnz()).map(|_| b.input()).collect();
+
+        let mut x_nodes = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)] // i indexes rows, offsets and b_in alike
+        for i in 0..n {
+            let (s, e) = (l.offsets[i], l.offsets[i + 1]);
+            let mut diag = None;
+            let mut terms = Vec::new();
+            for (k, (&c, _)) in l.indices[s..e].iter().zip(&l.values[s..e]).enumerate() {
+                let v_in = val_in[s + k];
+                if c == i {
+                    diag = Some(v_in);
+                } else {
+                    let t = b
+                        .node(Op::Mul, &[v_in, x_nodes[c]])
+                        .expect("valid by construction");
+                    terms.push(t);
+                }
+            }
+            let diag = diag.expect("lower-triangular check guarantees a diagonal");
+            let numer = if terms.is_empty() {
+                b_in[i]
+            } else {
+                let sum = if terms.len() == 1 {
+                    terms[0]
+                } else {
+                    b.node(Op::Add, &terms).expect("valid by construction")
+                };
+                b.node(Op::Sub, &[b_in[i], sum])
+                    .expect("valid by construction")
+            };
+            let x = b
+                .node(Op::Div, &[numer, diag])
+                .expect("valid by construction");
+            x_nodes.push(x);
+        }
+
+        SptrsvDag {
+            dag: b.finish().expect("non-empty"),
+            x_nodes,
+            dim: n,
+            nnz: l.nnz(),
+        }
+    }
+
+    /// Flattens `(l, b)` into the DAG's input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l`/`b` do not match the dimensions the DAG was built with.
+    pub fn inputs(&self, l: &CsrMatrix, b: &[f32]) -> Vec<f32> {
+        assert_eq!(l.dim, self.dim, "matrix dimension mismatch");
+        assert_eq!(l.nnz(), self.nnz, "sparsity pattern mismatch");
+        assert_eq!(b.len(), self.dim, "rhs length mismatch");
+        let mut v = Vec::with_capacity(self.dim + l.nnz());
+        v.extend_from_slice(b);
+        v.extend_from_slice(&l.values);
+        v
+    }
+
+    /// Extracts the solution `x` from a full node-value vector produced by
+    /// [`dpu_dag::eval::evaluate`].
+    pub fn solution(&self, values: &[f32]) -> Vec<f32> {
+        self.x_nodes.iter().map(|n| values[n.index()]).collect()
+    }
+}
+
+/// Reference forward substitution, used to validate the DAG construction
+/// and, transitively, every compiled program.
+///
+/// # Panics
+///
+/// Panics if `l` is not lower triangular or `b` has the wrong length.
+pub fn solve_reference(l: &CsrMatrix, b: &[f32]) -> Vec<f32> {
+    assert!(l.is_lower_triangular(), "matrix must be lower triangular");
+    assert_eq!(b.len(), l.dim, "rhs length mismatch");
+    let mut x = vec![0.0f32; l.dim];
+    for i in 0..l.dim {
+        let mut acc = 0.0f32;
+        let mut diag = 1.0f32;
+        for (c, v) in l.row(i) {
+            if c == i {
+                diag = v;
+            } else {
+                acc += v * x[c];
+            }
+        }
+        x[i] = (b[i] - acc) / diag;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::{generate_lower_triangular, LowerTriangularParams};
+    use dpu_dag::eval;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_l() -> CsrMatrix {
+        CsrMatrix::from_triplets(
+            3,
+            vec![
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+                (1, 1, 4.0),
+                (2, 1, -2.0),
+                (2, 2, 1.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn reference_solve_small() {
+        let l = small_l();
+        let x = solve_reference(&l, &[2.0, 6.0, 1.0]);
+        // x0 = 1; x1 = (6-1)/4 = 1.25; x2 = (1 + 2*1.25)/1 = 3.5
+        assert_eq!(x, vec![1.0, 1.25, 3.5]);
+    }
+
+    #[test]
+    fn dag_matches_reference_small() {
+        let l = small_l();
+        let b = [2.0, 6.0, 1.0];
+        let s = SptrsvDag::build(&l);
+        let vals = eval::evaluate(&s.dag, &s.inputs(&l, &b)).unwrap();
+        assert_eq!(s.solution(&vals), solve_reference(&l, &b));
+    }
+
+    #[test]
+    fn dag_matches_reference_random() {
+        let p = LowerTriangularParams {
+            dim: 300,
+            avg_nnz_per_row: 5.0,
+            band_fraction: 0.7,
+            band: 10,
+        };
+        let l = generate_lower_triangular(&p, 17);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let b: Vec<f32> = (0..l.dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let s = SptrsvDag::build(&l);
+        let vals = eval::evaluate(&s.dag, &s.inputs(&l, &b)).unwrap();
+        let x_dag = s.solution(&vals);
+        let x_ref = solve_reference(&l, &b);
+        assert!(eval::values_close(&x_dag, &x_ref, 1e-3));
+    }
+
+    #[test]
+    fn node_count_scales_with_nnz() {
+        let p = LowerTriangularParams {
+            dim: 200,
+            avg_nnz_per_row: 4.0,
+            band_fraction: 0.6,
+            band: 8,
+        };
+        let l = generate_lower_triangular(&p, 2);
+        let s = SptrsvDag::build(&l);
+        // Inputs (nnz + n) + muls (nnz − n) + up to one add and one sub per
+        // row + n divs: between 2·nnz and 2·nnz + 3·n nodes.
+        let actual = s.dag.len();
+        let lo = 2 * l.nnz();
+        let hi = 2 * l.nnz() + 3 * l.dim;
+        assert!(
+            (lo..=hi).contains(&actual),
+            "nodes = {actual}, expected within [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn banded_matrix_has_long_critical_path() {
+        let p = LowerTriangularParams {
+            dim: 400,
+            avg_nnz_per_row: 4.0,
+            band_fraction: 0.9,
+            band: 4,
+        };
+        let l = generate_lower_triangular(&p, 5);
+        let s = SptrsvDag::build(&l);
+        // Near-band rows chain: critical path must grow with dim.
+        assert!(s.dag.longest_path_len() > 100);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the workload generators.
+
+use dpu_dag::eval;
+use dpu_workloads::pc::{generate_pc, pc_inputs, PcParams};
+use dpu_workloads::sparse::{
+    generate_lower_triangular, parse_matrix_market, CsrMatrix, LowerTriangularParams,
+};
+use dpu_workloads::sptrsv::{solve_reference, SptrsvDag};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pc_generator_is_deterministic_and_on_target(
+        nodes in 400usize..3000,
+        depth in 4usize..24,
+        seed in any::<u64>(),
+    ) {
+        let p = PcParams::with_targets(nodes.max(4 * depth), depth);
+        let a = generate_pc(&p, seed);
+        let b = generate_pc(&p, seed);
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert_eq!(a.edge_count(), b.edge_count());
+        prop_assert_eq!(a.longest_path_len() as usize, p.target_depth);
+        prop_assert_eq!(a.sinks().count(), 1, "PCs are single-rooted");
+    }
+
+    #[test]
+    fn pc_evaluation_is_negative_and_nan_free(seed in any::<u64>()) {
+        let dag = generate_pc(&PcParams::with_targets(800, 10), seed);
+        let vals = eval::evaluate(&dag, &pc_inputs(&dag, seed)).unwrap();
+        for v in vals {
+            prop_assert!(!v.is_nan());
+            prop_assert!(v < 0.0, "log-probabilities stay negative: {v}");
+        }
+    }
+
+    #[test]
+    fn trsv_matrix_is_always_solvable(
+        dim in 10usize..300,
+        nnz in 1.0f64..8.0,
+        l_target in 10usize..200,
+        seed in any::<u64>(),
+    ) {
+        let p = LowerTriangularParams::for_target_path(dim, nnz, l_target);
+        let l = generate_lower_triangular(&p, seed);
+        prop_assert!(l.is_lower_triangular());
+        let b: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.3).sin()).collect();
+        let s = SptrsvDag::build(&l);
+        let vals = eval::evaluate(&s.dag, &s.inputs(&l, &b)).unwrap();
+        let x_dag = s.solution(&vals);
+        let x_ref = solve_reference(&l, &b);
+        prop_assert!(eval::values_close(&x_dag, &x_ref, 1e-2));
+    }
+
+    #[test]
+    fn csr_from_triplets_sums_duplicates(
+        dim in 2usize..20,
+        entries in proptest::collection::vec((0usize..20, 0usize..20, -2.0f32..2.0), 1..40),
+    ) {
+        let triplets: Vec<(usize, usize, f32)> = entries
+            .into_iter()
+            .map(|(r, c, v)| (r % dim, c % dim, v))
+            .collect();
+        let m = CsrMatrix::from_triplets(dim, triplets.clone());
+        // Dense reconstruction must match a dense sum of the triplets.
+        let mut dense = vec![vec![0.0f32; dim]; dim];
+        for &(r, c, v) in &triplets {
+            dense[r][c] += v;
+        }
+        for r in 0..dim {
+            for (c, v) in m.row(r) {
+                prop_assert!((dense[r][c] - v).abs() < 1e-4);
+                dense[r][c] = 0.0;
+            }
+        }
+        // Every remaining dense entry must be a duplicate that summed to
+        // the stored value already checked; entries never stored must be 0.
+        for row in &dense {
+            for &v in row {
+                prop_assert!(v.abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_market_roundtrip(
+        dim in 2usize..12,
+        entries in proptest::collection::vec((0usize..12, 0usize..12, -9i32..9), 1..30),
+    ) {
+        // Render a general coordinate file and parse it back.
+        let triplets: Vec<(usize, usize, f32)> = entries
+            .iter()
+            .map(|&(r, c, v)| (r % dim, c % dim, v as f32))
+            .collect();
+        let mut text = format!("%%MatrixMarket matrix coordinate real general\n{dim} {dim} {}\n", triplets.len());
+        for &(r, c, v) in &triplets {
+            text.push_str(&format!("{} {} {}\n", r + 1, c + 1, v));
+        }
+        let parsed = parse_matrix_market(&text).unwrap();
+        let direct = CsrMatrix::from_triplets(dim, triplets);
+        prop_assert_eq!(parsed, direct);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build a small computation DAG, compile it for the paper's
+//! minimum-EDP DPU-v2 design, execute it on the cycle-level simulator, and
+//! read back latency/energy metrics.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use dpu_core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the computation: ((a + b) * c - a) / b.
+    let mut builder = DagBuilder::new();
+    let a = builder.input();
+    let b = builder.input();
+    let c = builder.input();
+    let sum = builder.node(Op::Add, &[a, b])?;
+    let prod = builder.node(Op::Mul, &[sum, c])?;
+    let diff = builder.node(Op::Sub, &[prod, a])?;
+    builder.node(Op::Div, &[diff, b])?;
+    let dag = builder.finish()?;
+    println!(
+        "DAG: {} nodes, {} edges, depth {}",
+        dag.len(),
+        dag.edge_count(),
+        dag.longest_path_len()
+    );
+
+    // 2. Compile for the paper's min-EDP configuration (D=3, B=64, R=32).
+    let dpu = Dpu::min_edp();
+    let compiled = dpu.compile(&dag)?;
+    println!(
+        "compiled: {} instructions, {} blocks, PE utilization {:.0}%",
+        compiled.program.len(),
+        compiled.stats.blocks,
+        compiled.stats.pe_utilization * 100.0
+    );
+
+    // 3. Execute with verification against the reference evaluator.
+    let inputs = [2.0f32, 4.0, 3.0];
+    let report = dpu.execute_verified(&compiled, &inputs)?;
+    println!(
+        "result: {:?} in {} cycles (expected ((2+4)*3-2)/4 = 4)",
+        report.result.outputs, report.result.cycles
+    );
+
+    // 4. Measure.
+    let m = dpu.metrics(&report.result);
+    println!(
+        "metrics: {:.2} ns/op, {:.1} pJ/op, EDP {:.1} pJ*ns",
+        m.latency_per_op_ns, m.energy_per_op_pj, m.edp
+    );
+    Ok(())
+}

@@ -1,0 +1,1 @@
+pub use dpu_core as core_api;

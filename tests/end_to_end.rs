@@ -1,0 +1,225 @@
+//! Cross-crate integration tests: workload generators → compiler →
+//! simulator → reference verification, across architecture configurations
+//! and interconnect topologies.
+
+use dpu_core::prelude::*;
+use dpu_core::workloads::pc::{generate_pc, pc_inputs, PcParams};
+use dpu_core::workloads::sparse::{generate_lower_triangular, LowerTriangularParams};
+use dpu_core::workloads::sptrsv::{solve_reference, SptrsvDag};
+use dpu_core::workloads::suite;
+
+fn pc_workload() -> (Dag, Vec<f32>) {
+    let dag = generate_pc(&PcParams::with_targets(1_500, 14), 77);
+    let inputs = pc_inputs(&dag, 3);
+    (dag, inputs)
+}
+
+#[test]
+fn pc_verifies_on_every_dse_corner() {
+    let (dag, inputs) = pc_workload();
+    for (d, b, r) in [
+        (1u32, 8u32, 16u32),
+        (1, 64, 128),
+        (3, 8, 128),
+        (3, 64, 16),
+        (2, 32, 32),
+    ] {
+        let dpu = Dpu::new(ArchConfig::new(d, b, r).unwrap());
+        let c = dpu
+            .compile(&dag)
+            .unwrap_or_else(|e| panic!("D={d} B={b} R={r}: {e}"));
+        let rep = dpu
+            .execute_verified(&c, &inputs)
+            .unwrap_or_else(|e| panic!("D={d} B={b} R={r}: {e}"));
+        assert!(rep.verified);
+    }
+}
+
+#[test]
+fn pc_verifies_on_every_topology() {
+    let (dag, inputs) = pc_workload();
+    for topo in Topology::all() {
+        if topo == Topology::OneToOneBoth {
+            // Not evaluated in the paper; the compiler targets designs with
+            // at least one crossbar (§IV's stated scope).
+            continue;
+        }
+        let cfg = ArchConfig::with_topology(3, 16, 64, topo).unwrap();
+        let dpu = Dpu::new(cfg);
+        let c = dpu.compile(&dag).unwrap_or_else(|e| panic!("{topo}: {e}"));
+        let rep = dpu
+            .execute_verified(&c, &inputs)
+            .unwrap_or_else(|e| panic!("{topo}: {e}"));
+        assert!(rep.verified);
+    }
+}
+
+#[test]
+fn sptrsv_solution_matches_host_solver() {
+    let p = LowerTriangularParams::for_target_path(200, 3.0, 60);
+    let l = generate_lower_triangular(&p, 9);
+    let s = SptrsvDag::build(&l);
+    let b_vec: Vec<f32> = (0..l.dim)
+        .map(|i| ((i * 13 % 29) as f32 - 14.0) / 10.0)
+        .collect();
+
+    let dpu = Dpu::new(ArchConfig::new(2, 16, 64).unwrap());
+    let c = dpu.compile(&s.dag).unwrap();
+    let rep = dpu.execute_verified(&c, &s.inputs(&l, &b_vec)).unwrap();
+    assert!(rep.verified);
+
+    // The stored outputs are the DAG sinks; every x_i that is a sink must
+    // agree with the host forward substitution.
+    let x = solve_reference(&l, &b_vec);
+    let sinks: Vec<NodeId> = s.dag.sinks().collect();
+    for (slot, sink) in rep.result.outputs.iter().zip(&sinks) {
+        if let Some(row) = s.x_nodes.iter().position(|n| n == sink) {
+            assert!(
+                (slot - x[row]).abs() <= 1e-3 * x[row].abs().max(1.0),
+                "x[{row}]: {slot} vs {}",
+                x[row]
+            );
+        }
+    }
+}
+
+#[test]
+fn compilation_is_deterministic() {
+    let (dag, _) = pc_workload();
+    let dpu = Dpu::new(ArchConfig::new(2, 16, 32).unwrap());
+    let a = dpu.compile(&dag).unwrap();
+    let b = dpu.compile(&dag).unwrap();
+    assert_eq!(a.program, b.program);
+    assert_eq!(a.layout, b.layout);
+}
+
+#[test]
+fn packed_program_decodes_back() {
+    let (dag, _) = pc_workload();
+    let dpu = Dpu::new(ArchConfig::new(2, 8, 32).unwrap());
+    let c = dpu.compile(&dag).unwrap();
+    let bytes = c.program.pack();
+    let back = dpu_core::isa::Program::unpack(c.program.config, &bytes, c.program.len()).unwrap();
+    assert_eq!(back, c.program);
+}
+
+#[test]
+fn tiny_suite_runs_on_min_edp_and_large() {
+    for spec in suite::tiny_suite() {
+        let dag = spec.generate();
+        let inputs: Vec<f32> = match spec.class {
+            suite::WorkloadClass::SpTrsv => (0..dag.input_count())
+                .map(|i| 0.7 + (i % 5) as f32 * 0.1)
+                .collect(),
+            _ => pc_inputs(&dag, spec.seed),
+        };
+        for dpu in [Dpu::min_edp(), Dpu::large()] {
+            let c = dpu
+                .compile(&dag)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let rep = dpu
+                .execute_verified(&c, &inputs)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert!(rep.verified, "{}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn cycles_agree_between_compiler_and_simulator() {
+    let (dag, inputs) = pc_workload();
+    let dpu = Dpu::min_edp();
+    let c = dpu.compile(&dag).unwrap();
+    let run = dpu.execute(&c, &inputs).unwrap();
+    assert_eq!(run.cycles, c.stats.total_cycles);
+}
+
+#[test]
+fn spilling_configurations_stay_correct() {
+    let (dag, inputs) = pc_workload();
+    let dpu = Dpu::new(ArchConfig::new(2, 8, 8).unwrap());
+    let c = dpu.compile(&dag).unwrap();
+    assert!(c.stats.spill_stores > 0, "tiny R must spill");
+    let rep = dpu.execute_verified(&c, &inputs).unwrap();
+    assert!(rep.verified);
+}
+
+#[test]
+fn batched_execution_reuses_program() {
+    let (dag, _) = pc_workload();
+    let dpu = Dpu::new(ArchConfig::new(3, 16, 64).unwrap());
+    let c = dpu.compile(&dag).unwrap();
+    for seed in 0..3 {
+        let inputs = pc_inputs(&dag, seed);
+        let rep = dpu.execute_verified(&c, &inputs).unwrap();
+        assert!(rep.verified, "seed {seed}");
+    }
+}
+
+#[test]
+fn every_spill_policy_stays_correct() {
+    use dpu_core::compiler::{CompileOptions, SpillPolicy};
+    let (dag, inputs) = pc_workload();
+    let cfg = ArchConfig::new(2, 8, 8).unwrap(); // tiny R forces spills
+    for policy in [
+        SpillPolicy::FurthestNextUse,
+        SpillPolicy::NearestNextUse,
+        SpillPolicy::Arbitrary,
+    ] {
+        let dpu = Dpu {
+            config: cfg,
+            options: CompileOptions { spill_policy: policy, ..Default::default() },
+        };
+        let c = dpu.compile(&dag).unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+        let rep = dpu
+            .execute_verified(&c, &inputs)
+            .unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+        assert!(rep.verified, "{policy:?}");
+    }
+}
+
+#[test]
+fn reorder_window_extremes_stay_correct() {
+    use dpu_core::compiler::CompileOptions;
+    let (dag, inputs) = pc_workload();
+    for window in [1usize, 2, 1000] {
+        let dpu = Dpu {
+            config: ArchConfig::new(3, 16, 32).unwrap(),
+            options: CompileOptions { window, ..Default::default() },
+        };
+        let c = dpu.compile(&dag).unwrap();
+        let rep = dpu.execute_verified(&c, &inputs).unwrap();
+        assert!(rep.verified, "window {window}");
+    }
+}
+
+#[test]
+fn disassembly_covers_every_instruction() {
+    use dpu_core::isa::disasm;
+    let (dag, _) = pc_workload();
+    let dpu = Dpu::new(ArchConfig::new(2, 8, 16).unwrap());
+    let c = dpu.compile(&dag).unwrap();
+    let text = disasm::disassemble(&c.program);
+    assert_eq!(text.lines().count(), c.program.len());
+    // Every line is numbered and carries a mnemonic.
+    for (i, line) in text.lines().enumerate() {
+        assert!(line.starts_with(&format!("{i:04}")), "{line}");
+    }
+}
+
+#[test]
+fn batch_mode_matches_single_runs() {
+    let (dag, inputs) = pc_workload();
+    let dpu = Dpu::new(ArchConfig::new(2, 16, 32).unwrap());
+    let c = dpu.compile(&dag).unwrap();
+    let batch: Vec<Vec<f32>> = (0..3)
+        .map(|k| inputs.iter().map(|v| v - 0.002 * k as f32).collect())
+        .collect();
+    let b = dpu_core::sim::run_batch(&c, &batch, 2).unwrap();
+    for (run, ins) in b.runs.iter().zip(&batch) {
+        let single = dpu.execute(&c, ins).unwrap();
+        assert_eq!(run.outputs, single.outputs);
+    }
+    // 3 inputs on 2 cores: two rounds.
+    assert_eq!(b.batch_cycles, 2 * b.runs[0].cycles);
+}
