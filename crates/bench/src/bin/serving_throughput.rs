@@ -1,0 +1,171 @@
+//! Serving-throughput benchmark of the `dpu-runtime` engine (the
+//! production-serving counterpart of the paper's §V-C2 batch mode).
+//!
+//! Serves ≥ 1000 requests drawn from three workload families — sparse
+//! (SpMV), SpTRSV, and probabilistic circuits — across ≥ 4 worker
+//! threads on the DPU-v2 (L) configuration, verifies the aggregate
+//! outputs are byte-identical to a serial reference pass, and emits one
+//! JSON perf line with cache hit rate, simulated GOPS, and host
+//! wall-clock.
+//!
+//! Run with `cargo run --release -p dpu-bench --bin serving_throughput`.
+
+use dpu_core::prelude::*;
+use dpu_core::workloads::pc::{generate_pc, pc_inputs, PcParams};
+use dpu_core::workloads::sparse::{generate_lower_triangular, LowerTriangularParams, SpmvDag};
+use dpu_core::workloads::sptrsv::SptrsvDag;
+use dpu_core::{energy, runtime};
+
+const REQUESTS: usize = 1200;
+const WORKERS: usize = 4;
+
+struct Family {
+    name: &'static str,
+    dag: Dag,
+    /// Fresh inputs per request index.
+    inputs: Box<dyn Fn(usize) -> Vec<f32>>,
+}
+
+fn families() -> Vec<Family> {
+    let mut out = Vec::new();
+    // Family 1: probabilistic circuits (two sizes).
+    for (nodes, depth, seed) in [(1_500usize, 12usize, 21u64), (2_500, 16, 22)] {
+        let dag = generate_pc(&PcParams::with_targets(nodes, depth), seed);
+        let d = dag.clone();
+        out.push(Family {
+            name: "pc",
+            dag,
+            inputs: Box::new(move |i| pc_inputs(&d, i as u64)),
+        });
+    }
+    // Family 2: SpTRSV forward substitution (two matrices).
+    for (dim, path, seed) in [(100usize, 18usize, 23u64), (160, 24, 24)] {
+        let l = generate_lower_triangular(
+            &LowerTriangularParams::for_target_path(dim, 2.0, path),
+            seed,
+        );
+        let trsv = SptrsvDag::build(&l);
+        let dag = trsv.dag.clone();
+        out.push(Family {
+            name: "sptrsv",
+            dag,
+            inputs: Box::new(move |i| {
+                let b: Vec<f32> = (0..l.dim)
+                    .map(|j| 1.0 + 0.5 * (((i + j) as f32) * 0.37).sin())
+                    .collect();
+                trsv.inputs(&l, &b)
+            }),
+        });
+    }
+    // Family 3: sparse matrix-vector products (two matrices).
+    for (dim, seed) in [(120usize, 25u64), (200, 26)] {
+        let a = generate_lower_triangular(
+            &LowerTriangularParams {
+                dim,
+                avg_nnz_per_row: 4.0,
+                band_fraction: 0.7,
+                band: 10,
+            },
+            seed,
+        );
+        let spmv = SpmvDag::build(&a);
+        let dag = spmv.dag.clone();
+        out.push(Family {
+            name: "sparse",
+            dag,
+            inputs: Box::new(move |i| {
+                let x: Vec<f32> = (0..a.dim)
+                    .map(|j| 0.5 + 0.3 * (((2 * i + j) as f32) * 0.23).cos())
+                    .collect();
+                spmv.inputs(&a, &x)
+            }),
+        });
+    }
+    out
+}
+
+fn build_stream(engine: &Engine, fams: &[Family]) -> Vec<Request> {
+    let keys: Vec<DagKey> = fams
+        .iter()
+        .map(|f| engine.register(f.dag.clone()))
+        .collect();
+    (0..REQUESTS)
+        .map(|i| {
+            let which = i % fams.len();
+            Request::new(keys[which], (fams[which].inputs)(i))
+        })
+        .collect()
+}
+
+fn main() {
+    let dpu = Dpu::large();
+    let opts = EngineOptions {
+        workers: WORKERS,
+        cores: runtime::DPU_V2_L_CORES,
+        cache_capacity: None,
+    };
+    let fams = families();
+    let family_names: Vec<&str> = {
+        let mut n: Vec<&str> = fams.iter().map(|f| f.name).collect();
+        n.dedup();
+        n
+    };
+
+    // Threaded serving pass.
+    let engine = dpu.engine(opts);
+    let stream = build_stream(&engine, &fams);
+    let report = engine.serve(&stream).expect("serving succeeds");
+
+    // Serial reference pass on a fresh engine; aggregate outputs must be
+    // byte-identical.
+    let ref_engine = dpu.engine(opts);
+    let ref_stream = build_stream(&ref_engine, &fams);
+    assert_eq!(stream, ref_stream, "request streams must be identical");
+    let reference = ref_engine
+        .serve_serial(&ref_stream)
+        .expect("serial reference succeeds");
+    let mut verified = report.results.len() == reference.results.len();
+    for (got, want) in report.results.iter().zip(reference.results.iter()) {
+        let got_bits: Vec<u32> = got.outputs.iter().map(|v| v.to_bits()).collect();
+        let want_bits: Vec<u32> = want.outputs.iter().map(|v| v.to_bits()).collect();
+        verified &= got_bits == want_bits && got.cycles == want.cycles;
+    }
+    assert!(verified, "threaded outputs differ from serial reference");
+    assert!(
+        report.cache.hit_rate() > 0.9,
+        "cache hit rate {:.3} not > 0.9",
+        report.cache.hit_rate()
+    );
+
+    let freq = energy::calib::FREQ_HZ;
+    // One machine-readable perf line (JSON, hand-rendered: the vendored
+    // serde stub has no serializer).
+    println!(
+        "{{\"bench\":\"serving_throughput\",\"requests\":{},\"workers\":{},\"host_cpus\":{},\
+         \"families\":{:?},\
+         \"distinct_dags\":{},\"cache_hit_rate\":{:.4},\"compiles\":{},\
+         \"batch_rounds\":{},\"modelled_cores\":{},\"batch_cycles\":{},\
+         \"simulated_gops\":{:.3},\"core_utilization\":{:.3},\
+         \"host_seconds\":{:.4},\"host_rps\":{:.0},\
+         \"serial_host_seconds\":{:.4},\"speedup\":{:.2},\"verified\":{}}}",
+        report.results.len(),
+        report.workers,
+        std::thread::available_parallelism().map_or(0, |n| n.get()),
+        family_names,
+        fams.len(),
+        report.cache.hit_rate(),
+        report.cache.misses,
+        report.plan.rounds.len(),
+        report.plan.cores,
+        report.plan.total_cycles,
+        report.gops(freq),
+        report
+            .plan
+            .core_utilization(&report.results.iter().map(|r| r.cycles).collect::<Vec<_>>()),
+        report.host_seconds,
+        report.host_requests_per_sec(),
+        reference.host_seconds,
+        reference.host_seconds / report.host_seconds.max(1e-9),
+        verified
+    );
+}

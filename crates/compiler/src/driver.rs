@@ -322,7 +322,7 @@ mod tests {
             ..Default::default()
         };
         let c = compile(&dag, &cfg, &opts).unwrap();
-        assert!(c.program.len() > 0);
+        assert!(!c.program.is_empty());
     }
 
     #[test]

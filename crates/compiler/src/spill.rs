@@ -367,7 +367,7 @@ mod tests {
     fn spills_under_pressure_and_reloads() {
         // R = 2; produce 4 values into bank 0, then read them all.
         let cfg = ArchConfig::new(1, 2, 2).unwrap();
-        let pe = PeId::new(0, 1, 0);
+        let _pe = PeId::new(0, 1, 0);
         let mut instrs: Vec<AInstr> = Vec::new();
         for k in 0..4u32 {
             instrs.push(AInstr::Load {

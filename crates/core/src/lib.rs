@@ -36,6 +36,7 @@ pub use dpu_dag as dag;
 pub use dpu_dse as dse;
 pub use dpu_energy as energy;
 pub use dpu_isa as isa;
+pub use dpu_runtime as runtime;
 pub use dpu_sim as sim;
 pub use dpu_workloads as workloads;
 
@@ -43,6 +44,7 @@ use dpu_compiler::{compile, CompileError, CompileOptions, Compiled};
 use dpu_dag::Dag;
 use dpu_energy::Metrics;
 use dpu_isa::ArchConfig;
+use dpu_runtime::{Engine, EngineOptions, Request, ServeError, ServingReport};
 use dpu_sim::{RunResult, SimError, VerifyReport};
 
 /// Convenience prelude: the types most programs need.
@@ -52,6 +54,7 @@ pub mod prelude {
     pub use dpu_dag::{Dag, DagBuilder, NodeId, Op};
     pub use dpu_energy::Metrics;
     pub use dpu_isa::{ArchConfig, Topology};
+    pub use dpu_runtime::{DagKey, Engine, EngineOptions, Request, ServingReport};
     pub use dpu_sim::{RunResult, VerifyReport};
 }
 
@@ -119,6 +122,44 @@ impl Dpu {
     pub fn metrics(&self, run: &RunResult) -> Metrics {
         dpu_energy::metrics(&self.config, run)
     }
+
+    /// Builds a serving [`Engine`] for this instance: a compile-once
+    /// program cache plus a multi-threaded core pool (see `dpu-runtime`).
+    /// Use this form to keep the engine alive across batches so the cache
+    /// stays warm.
+    pub fn engine(&self, options: EngineOptions) -> Engine {
+        Engine::new(self.config, self.options.clone(), options)
+    }
+
+    /// One-call batch serving: registers `dags`, then serves `requests`
+    /// given as `(dag index, inputs)` pairs. Outputs are byte-identical
+    /// to running each request serially through [`Dpu::execute`].
+    ///
+    /// For repeated batches over the same DAGs, build a persistent engine
+    /// with [`Dpu::engine`] instead so compiled programs are reused
+    /// across calls.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request's DAG index is out of range.
+    pub fn serve(
+        &self,
+        dags: Vec<Dag>,
+        requests: &[(usize, Vec<f32>)],
+        options: EngineOptions,
+    ) -> Result<ServingReport, ServeError> {
+        let engine = self.engine(options);
+        let keys: Vec<_> = dags.into_iter().map(|d| engine.register(d)).collect();
+        let stream: Vec<Request> = requests
+            .iter()
+            .map(|(which, inputs)| Request::new(keys[*which], inputs.clone()))
+            .collect();
+        engine.serve(&stream)
+    }
 }
 
 #[cfg(test)]
@@ -144,5 +185,24 @@ mod tests {
     #[test]
     fn large_config_has_more_registers() {
         assert!(Dpu::large().config.regs_per_bank > Dpu::min_edp().config.regs_per_bank);
+    }
+
+    #[test]
+    fn facade_serves_batches() {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        b.node(Op::Add, &[x, y]).unwrap();
+        let dag = b.finish().unwrap();
+        let dpu = Dpu::new(ArchConfig::new(2, 8, 16).unwrap());
+        let requests: Vec<(usize, Vec<f32>)> = (0..12).map(|i| (0, vec![i as f32, 1.0])).collect();
+        let report = dpu
+            .serve(vec![dag], &requests, EngineOptions::default())
+            .unwrap();
+        assert_eq!(report.results.len(), 12);
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(r.outputs, vec![i as f32 + 1.0]);
+        }
+        assert_eq!(report.cache.misses, 1);
     }
 }

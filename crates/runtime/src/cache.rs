@@ -1,0 +1,295 @@
+//! Concurrent compile-once program cache.
+//!
+//! Compilation dominates the cost of serving a DAG the first time it is
+//! seen (milliseconds, vs microseconds to simulate small programs), so
+//! the serving engine never compiles the same work twice: programs are
+//! cached by [`CacheKey`] — the DAG's structural fingerprint plus the
+//! [`ArchConfig`] it was compiled for — and shared as
+//! [`Arc<Compiled>`] across every request and worker thread.
+//!
+//! Concurrency model: a `RwLock` map from key to *slot*, plus a per-slot
+//! mutex around the compiled program. Looking up a hot key takes the map
+//! read lock only; the first thread to reach a new slot compiles while
+//! holding just that slot's lock, so (a) a program is compiled **exactly
+//! once** per distinct key no matter how many threads race on it, and
+//! (b) compiling one DAG never blocks serving a different one.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use dpu_compiler::{compile, CompileError, CompileOptions, Compiled};
+use dpu_dag::Dag;
+use dpu_isa::ArchConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::DagKey;
+
+/// Cache key: what was compiled, for which architecture point.
+///
+/// The compiler options are deliberately *not* part of the key — a cache
+/// is constructed with one [`CompileOptions`] and every entry uses it,
+/// mirroring how a deployed engine pins one compiler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Structural fingerprint of the DAG.
+    pub dag: DagKey,
+    /// Architecture the program was compiled for.
+    pub config: ArchConfig,
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found a compiled program (including threads that
+    /// waited on a concurrent compile of the same key rather than
+    /// duplicating it).
+    pub hits: u64,
+    /// Lookups that compiled — exactly one per distinct key unless an
+    /// entry was evicted and re-requested.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served without compiling; 0 when no lookups
+    /// happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cache slot. The slot is created empty under the map write lock
+/// (cheap), and filled by whichever thread wins the slot's compile mutex
+/// (the one expensive compile); losers block on that mutex and then read
+/// the result. Hits take only the `compiled` read lock, so concurrent
+/// lookups of a hot program never serialize.
+struct Slot {
+    compiled: RwLock<Option<Arc<Compiled>>>,
+    /// Held only while compiling; keeps the compile-once guarantee
+    /// without write-locking `compiled` for the compile's duration.
+    compile_lock: Mutex<()>,
+    /// Logical timestamp of the most recent use, for LRU eviction.
+    last_used: AtomicU64,
+}
+
+/// Concurrent compile-once cache of [`Compiled`] programs.
+pub struct ProgramCache {
+    options: CompileOptions,
+    capacity: usize,
+    map: RwLock<HashMap<CacheKey, Arc<Slot>>>,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for ProgramCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgramCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ProgramCache {
+    /// An unbounded cache compiling with `options`.
+    pub fn new(options: CompileOptions) -> Self {
+        Self::with_capacity(options, usize::MAX)
+    }
+
+    /// A cache holding at most `capacity` programs; the least recently
+    /// used entry is evicted to admit a new key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(options: CompileOptions, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ProgramCache {
+            options,
+            capacity,
+            map: RwLock::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The compiler options every entry is compiled with.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// Returns the compiled program for `(key, config)`, compiling `dag`
+    /// on first use. `key` must be `dag`'s fingerprint (the engine keeps
+    /// this association; [`crate::dag_fingerprint`] computes it).
+    ///
+    /// # Errors
+    ///
+    /// Forwards [`CompileError`]. Failed compilations are not cached;
+    /// a later call with the same key retries.
+    pub fn get_or_compile(
+        &self,
+        dag: &Dag,
+        key: DagKey,
+        config: &ArchConfig,
+    ) -> Result<Arc<Compiled>, CompileError> {
+        let key = CacheKey {
+            dag: key,
+            config: *config,
+        };
+        let slot = self.slot(key);
+        slot.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        // Fast path: a read lock only, so hot programs serve concurrently.
+        if let Some(compiled) = slot.compiled.read().expect("cache slot poisoned").as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(compiled));
+        }
+        // Slow path: the first thread through the compile lock compiles;
+        // concurrent callers for the same key block here, then find the
+        // slot filled and count as hits (they did not compile).
+        let _compiling = slot.compile_lock.lock().expect("compile lock poisoned");
+        if let Some(compiled) = slot.compiled.read().expect("cache slot poisoned").as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(compiled));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(compile(dag, config, &self.options)?);
+        *slot.compiled.write().expect("cache slot poisoned") = Some(Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// Finds or creates the slot for `key`, evicting if needed.
+    fn slot(&self, key: CacheKey) -> Arc<Slot> {
+        if let Some(slot) = self.map.read().expect("cache map poisoned").get(&key) {
+            return Arc::clone(slot);
+        }
+        let mut map = self.map.write().expect("cache map poisoned");
+        // Double-checked: another thread may have created it while we
+        // waited for the write lock.
+        if let Some(slot) = map.get(&key) {
+            return Arc::clone(slot);
+        }
+        if map.len() >= self.capacity {
+            // Evict the least recently used entry. In-flight users are
+            // unaffected: they hold their own Arc<Slot>.
+            if let Some(victim) = map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k)
+            {
+                map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let slot = Arc::new(Slot {
+            compiled: RwLock::new(None),
+            compile_lock: Mutex::new(()),
+            last_used: AtomicU64::new(self.clock.load(Ordering::Relaxed)),
+        });
+        map.insert(key, Arc::clone(&slot));
+        slot
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("cache map poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag_fingerprint;
+    use dpu_dag::{DagBuilder, Op};
+
+    fn dag(seed: u32) -> Dag {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let mut acc = b.node(Op::Add, &[x, y]).unwrap();
+        for _ in 0..seed % 5 {
+            acc = b.node(Op::Mul, &[acc, y]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares() {
+        let cache = ProgramCache::new(CompileOptions::default());
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let d = dag(1);
+        let k = dag_fingerprint(&d);
+        let a = cache.get_or_compile(&d, k, &cfg).unwrap();
+        let b = cache.get_or_compile(&d, k, &cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_configs_are_distinct_entries() {
+        let cache = ProgramCache::new(CompileOptions::default());
+        let d = dag(2);
+        let k = dag_fingerprint(&d);
+        cache
+            .get_or_compile(&d, k, &ArchConfig::new(2, 8, 16).unwrap())
+            .unwrap();
+        cache
+            .get_or_compile(&d, k, &ArchConfig::new(3, 16, 32).unwrap())
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let cache = ProgramCache::with_capacity(CompileOptions::default(), 2);
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let dags: Vec<Dag> = (0..3).map(dag).collect();
+        let keys: Vec<DagKey> = dags.iter().map(dag_fingerprint).collect();
+        cache.get_or_compile(&dags[0], keys[0], &cfg).unwrap();
+        cache.get_or_compile(&dags[1], keys[1], &cfg).unwrap();
+        // Touch 0 so 1 becomes the LRU victim.
+        cache.get_or_compile(&dags[0], keys[0], &cfg).unwrap();
+        cache.get_or_compile(&dags[2], keys[2], &cfg).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        // 0 must still be resident; 1 was evicted and recompiles.
+        cache.get_or_compile(&dags[0], keys[0], &cfg).unwrap();
+        assert_eq!(cache.stats().misses, 3);
+        cache.get_or_compile(&dags[1], keys[1], &cfg).unwrap();
+        assert_eq!(cache.stats().misses, 4);
+    }
+}

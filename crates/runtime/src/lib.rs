@@ -1,0 +1,175 @@
+//! Serving runtime for the DPU-v2 reproduction: compile-once program
+//! cache, multi-core batch engine, and round planner.
+//!
+//! The paper's DPU-v2 (L) configuration serves DAG workloads by running
+//! parallel cores in batch mode (§V-C2: "the parallel cores can either
+//! perform batch execution (used for benchmarking) or execute different
+//! DAGs"). This crate turns the cycle-level simulator into that serving
+//! engine:
+//!
+//! - [`ProgramCache`] compiles each distinct (DAG, [`ArchConfig`]) pair
+//!   **once**, under concurrent access, and shares the resulting
+//!   [`Arc<Compiled>`](dpu_compiler::Compiled) across requests, with
+//!   hit/miss/eviction statistics ([`CacheStats`]).
+//! - [`Engine`] fans a stream of [`Request`]s out over `N` host worker
+//!   threads. Each worker owns one reusable [`Machine`](dpu_sim::Machine)
+//!   and calls [`Machine::reset`](dpu_sim::Machine::reset) between
+//!   requests, so the hot path allocates nothing per request. Results are
+//!   byte-identical to serial execution regardless of worker count.
+//! - [`plan_rounds`] packs the heterogeneous requests into rounds over
+//!   the modelled DPU-v2 (L) cores exactly the way
+//!   [`BatchResult`](dpu_sim::BatchResult) models batch wall-clock:
+//!   every round runs up to `cores` requests in parallel and costs its
+//!   longest member's cycles. The [`ServingReport`] therefore carries
+//!   *both* clocks: simulated-hardware cycles (and GOPS as
+//!   [`throughput_ops`](dpu_sim::throughput_ops) defines it — DAG
+//!   operations over execution time) and host wall-clock.
+//!
+//! [`ArchConfig`]: dpu_isa::ArchConfig
+//!
+//! # Example
+//!
+//! ```
+//! use dpu_dag::{DagBuilder, Op};
+//! use dpu_isa::ArchConfig;
+//! use dpu_compiler::CompileOptions;
+//! use dpu_runtime::{Engine, EngineOptions, Request};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = DagBuilder::new();
+//! let x = b.input();
+//! let y = b.input();
+//! let s = b.node(Op::Add, &[x, y])?;
+//! b.node(Op::Mul, &[s, s])?;
+//! let dag = b.finish()?;
+//!
+//! let engine = Engine::new(
+//!     ArchConfig::new(2, 8, 16)?,
+//!     CompileOptions::default(),
+//!     EngineOptions::default(),
+//! );
+//! let key = engine.register(dag);
+//! let requests: Vec<Request> = (0..32)
+//!     .map(|i| Request::new(key, vec![i as f32, 2.0]))
+//!     .collect();
+//! let report = engine.serve(&requests)?;
+//! assert_eq!(report.results.len(), 32);
+//! assert_eq!(report.cache.misses, 1); // compiled exactly once
+//! assert!(report.gops(300e6) > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use dpu_dag::Dag;
+use serde::{Deserialize, Serialize};
+
+pub mod cache;
+pub mod planner;
+pub mod pool;
+
+pub use cache::{CacheKey, CacheStats, ProgramCache};
+pub use planner::{plan_rounds, BatchPlan, RoundPlan};
+pub use pool::{Engine, EngineOptions, Request, ServeError, ServingReport};
+
+/// Parallel core count of the paper's DPU-v2 (L) configuration (§V-C2) —
+/// the default `cores` value of [`EngineOptions`].
+pub const DPU_V2_L_CORES: usize = 8;
+
+/// Content identity of a DAG: a stable 64-bit structural fingerprint.
+///
+/// Two DAGs get the same key iff they have identical node count, per-node
+/// operations, and per-node operand lists (operand *order* included — it
+/// is semantically significant for `Sub`/`Div`). The fingerprint is
+/// platform- and process-independent (FNV-1a, no randomized hashing), so
+/// keys are stable across runs and machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DagKey(pub u64);
+
+impl std::fmt::Display for DagKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dag:{:016x}", self.0)
+    }
+}
+
+/// Computes the [`DagKey`] of a DAG — the content-hash half of the
+/// program cache key.
+pub fn dag_fingerprint(dag: &Dag) -> DagKey {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    mix(dag.len() as u64);
+    for n in dag.nodes() {
+        mix(op_tag(dag.op(n)));
+        let preds = dag.preds(n);
+        mix(preds.len() as u64);
+        for &p in preds {
+            mix(p.index() as u64);
+        }
+    }
+    DagKey(h)
+}
+
+fn op_tag(op: dpu_dag::Op) -> u64 {
+    use dpu_dag::Op;
+    match op {
+        Op::Input => 0,
+        Op::Add => 1,
+        Op::Mul => 2,
+        Op::Sub => 3,
+        Op::Div => 4,
+        Op::Min => 5,
+        Op::Max => 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_dag::{DagBuilder, Op};
+
+    fn small(op: Op) -> Dag {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        b.node(op, &[x, y]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn identical_structure_same_key() {
+        assert_eq!(
+            dag_fingerprint(&small(Op::Add)),
+            dag_fingerprint(&small(Op::Add))
+        );
+    }
+
+    #[test]
+    fn different_op_different_key() {
+        assert_ne!(
+            dag_fingerprint(&small(Op::Add)),
+            dag_fingerprint(&small(Op::Mul))
+        );
+    }
+
+    #[test]
+    fn operand_order_matters() {
+        let build = |swap: bool| {
+            let mut b = DagBuilder::new();
+            let x = b.input();
+            let y = b.input();
+            let (l, r) = if swap { (y, x) } else { (x, y) };
+            b.node(Op::Sub, &[l, r]).unwrap();
+            b.finish().unwrap()
+        };
+        assert_ne!(
+            dag_fingerprint(&build(false)),
+            dag_fingerprint(&build(true))
+        );
+    }
+}

@@ -1,0 +1,463 @@
+//! The serving engine: a registry of DAGs, the shared program cache, and
+//! a pool of host worker threads each owning one reusable machine.
+//!
+//! Execution model: host workers (`EngineOptions::workers` threads) pull
+//! requests from a shared queue, compile through the
+//! [`ProgramCache`] on first touch, and simulate on their private
+//! [`Machine`] (reset, not reallocated, between requests). The *modelled*
+//! hardware parallelism — the paper's DPU-v2 (L) cores — is accounted
+//! separately by [`plan_rounds`]: host threads decide how fast the
+//! simulation runs on this machine, cores decide how many simulated
+//! cycles the batch takes on the modelled accelerator.
+//!
+//! Determinism: a request's [`RunResult`] depends only on its compiled
+//! program and inputs (compilation is seeded and deterministic, and a
+//! reset machine is indistinguishable from a fresh one), so serving the
+//! same request stream with 1 or `N` workers produces byte-identical
+//! outputs in the same order. `Engine::serve` relies on nothing
+//! time- or scheduling-dependent except the host wall-clock it reports.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use dpu_compiler::{CompileError, CompileOptions};
+use dpu_dag::Dag;
+use dpu_isa::ArchConfig;
+use dpu_sim::{run_on, Activity, Machine, RunResult, SimError};
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CacheStats, ProgramCache};
+use crate::planner::{plan_rounds, BatchPlan};
+use crate::{dag_fingerprint, DagKey, DPU_V2_L_CORES};
+
+/// One serving request: which registered DAG to run, on which inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Key of a DAG previously added with [`Engine::register`].
+    pub dag: DagKey,
+    /// Input values, in the DAG's input-ordinal order.
+    pub inputs: Vec<f32>,
+}
+
+impl Request {
+    /// Convenience constructor.
+    pub fn new(dag: DagKey, inputs: Vec<f32>) -> Self {
+        Request { dag, inputs }
+    }
+}
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Host worker threads simulating requests in parallel.
+    pub workers: usize,
+    /// Modelled DPU-v2 parallel cores for the batch plan (the paper's
+    /// (L) configuration has [`DPU_V2_L_CORES`]).
+    pub cores: usize,
+    /// Program-cache capacity in entries (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            cores: DPU_V2_L_CORES,
+            cache_capacity: None,
+        }
+    }
+}
+
+/// Serving failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A request named a DAG that was never registered.
+    UnknownDag(DagKey),
+    /// Compilation of a registered DAG failed.
+    Compile(CompileError),
+    /// Simulation of one request failed (always a compiler/runtime bug,
+    /// never a data-dependent condition — see [`SimError`]).
+    Sim {
+        /// Index of the failing request in the served stream.
+        request: usize,
+        /// The underlying simulator error.
+        error: SimError,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownDag(k) => write!(f, "unknown DAG {k}"),
+            ServeError::Compile(e) => write!(f, "compile failed: {e}"),
+            ServeError::Sim { request, error } => {
+                write!(f, "request {request}: simulation failed: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CompileError> for ServeError {
+    fn from(e: CompileError) -> Self {
+        ServeError::Compile(e)
+    }
+}
+
+/// Aggregate result of serving one request stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Per-request results, in request order — identical to what a serial
+    /// pass over the same stream produces.
+    pub results: Vec<RunResult>,
+    /// Sum of all per-request activity counters.
+    pub activity: Activity,
+    /// Total arithmetic DAG operations served.
+    pub total_dag_ops: u64,
+    /// How the batch packs onto the modelled cores, and its simulated
+    /// wall-clock.
+    pub plan: BatchPlan,
+    /// Program-cache statistics accumulated on this engine so far.
+    pub cache: CacheStats,
+    /// Host worker threads used.
+    pub workers: usize,
+    /// Host wall-clock seconds for the whole batch.
+    pub host_seconds: f64,
+}
+
+impl ServingReport {
+    /// Aggregate throughput of the batch in operations per second at
+    /// `freq_hz`, defined exactly as
+    /// [`throughput_ops`](dpu_sim::throughput_ops) defines it: DAG
+    /// operations divided by execution time, here the planned batch
+    /// wall-clock on the modelled cores.
+    pub fn throughput_ops(&self, freq_hz: f64) -> f64 {
+        self.total_dag_ops as f64 * freq_hz / self.plan.total_cycles.max(1) as f64
+    }
+
+    /// [`ServingReport::throughput_ops`] in GOPS.
+    pub fn gops(&self, freq_hz: f64) -> f64 {
+        self.throughput_ops(freq_hz) / 1e9
+    }
+
+    /// Requests served per host-second (how fast *this machine* simulated
+    /// the batch, as opposed to the modelled hardware throughput).
+    pub fn host_requests_per_sec(&self) -> f64 {
+        if self.host_seconds > 0.0 {
+            self.results.len() as f64 / self.host_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The serving engine. All methods take `&self`; an `Engine` can be
+/// shared across threads (`Engine: Sync`) and serves batches through its
+/// internal worker pool.
+pub struct Engine {
+    config: ArchConfig,
+    options: EngineOptions,
+    cache: ProgramCache,
+    dags: RwLock<std::collections::HashMap<DagKey, Arc<Dag>>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("config", &self.config)
+            .field("options", &self.options)
+            .field("registered_dags", &self.dags.read().unwrap().len())
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Builds an engine serving `config`, compiling with `compile_opts`.
+    pub fn new(config: ArchConfig, compile_opts: CompileOptions, options: EngineOptions) -> Self {
+        let cache = match options.cache_capacity {
+            Some(cap) => ProgramCache::with_capacity(compile_opts, cap),
+            None => ProgramCache::new(compile_opts),
+        };
+        Engine {
+            config,
+            options,
+            cache,
+            dags: RwLock::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// The architecture point this engine serves.
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// The sizing options this engine was built with.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Registers a DAG and returns its content key. Registering the same
+    /// structure twice is idempotent and returns the same key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a *different* structure collides with a registered key
+    /// (a 2⁻⁶⁴ event per pair) — serving the wrong program silently
+    /// would be far worse than failing loudly.
+    pub fn register(&self, dag: Dag) -> DagKey {
+        let key = dag_fingerprint(&dag);
+        let mut dags = self.dags.write().expect("dag registry poisoned");
+        if let Some(existing) = dags.get(&key) {
+            assert!(
+                same_structure(existing, &dag),
+                "DAG fingerprint collision on {key}: distinct structures"
+            );
+        } else {
+            dags.insert(key, Arc::new(dag));
+        }
+        key
+    }
+
+    /// Looks up a registered DAG.
+    pub fn dag(&self, key: DagKey) -> Option<Arc<Dag>> {
+        self.dags
+            .read()
+            .expect("dag registry poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    /// Pre-compiles a registered DAG (a cache warm-up), returning the
+    /// shared program.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownDag`] or [`ServeError::Compile`].
+    pub fn warm(&self, key: DagKey) -> Result<Arc<dpu_compiler::Compiled>, ServeError> {
+        let dag = self.dag(key).ok_or(ServeError::UnknownDag(key))?;
+        Ok(self.cache.get_or_compile(&dag, key, &self.config)?)
+    }
+
+    /// Program-cache statistics accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Serves `requests` across the engine's worker threads and packs the
+    /// results into a batch plan over the modelled cores.
+    ///
+    /// Outputs are byte-identical to [`Engine::serve_serial`] on the same
+    /// stream — worker count affects only host wall-clock.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing request, if any (see
+    /// [`ServeError`]). Earlier successful results are discarded.
+    pub fn serve(&self, requests: &[Request]) -> Result<ServingReport, ServeError> {
+        let started = Instant::now();
+        let workers = self.options.workers.clamp(1, requests.len().max(1));
+        let next = AtomicUsize::new(0);
+        let failure: Mutex<Option<(usize, ServeError)>> = Mutex::new(None);
+        let slots: Vec<Mutex<Option<RunResult>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut machine = Machine::new(self.config);
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= requests.len() {
+                            break;
+                        }
+                        match self.execute_one(&mut machine, idx, &requests[idx]) {
+                            Ok(result) => {
+                                *slots[idx].lock().expect("result slot poisoned") = Some(result);
+                            }
+                            Err(e) => {
+                                let mut f = failure.lock().expect("failure slot poisoned");
+                                if f.as_ref().is_none_or(|(i, _)| idx < *i) {
+                                    *f = Some((idx, e));
+                                }
+                                // Keep draining: other requests may still
+                                // succeed, and the lowest-indexed error
+                                // wins deterministically.
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Some((_, e)) = failure.into_inner().expect("failure slot poisoned") {
+            return Err(e);
+        }
+        let results: Vec<RunResult> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every request either succeeded or set failure")
+            })
+            .collect();
+        Ok(self.finish_report(results, workers, started))
+    }
+
+    /// Serves `requests` strictly serially on one reusable machine — the
+    /// reference pass that threaded serving is verified against.
+    ///
+    /// # Errors
+    ///
+    /// The error of the first failing request (see [`ServeError`]).
+    pub fn serve_serial(&self, requests: &[Request]) -> Result<ServingReport, ServeError> {
+        let started = Instant::now();
+        let mut machine = Machine::new(self.config);
+        let mut results = Vec::with_capacity(requests.len());
+        for (idx, request) in requests.iter().enumerate() {
+            results.push(self.execute_one(&mut machine, idx, request)?);
+        }
+        Ok(self.finish_report(results, 1, started))
+    }
+
+    fn execute_one(
+        &self,
+        machine: &mut Machine,
+        idx: usize,
+        request: &Request,
+    ) -> Result<RunResult, ServeError> {
+        let dag = self
+            .dag(request.dag)
+            .ok_or(ServeError::UnknownDag(request.dag))?;
+        let compiled = self.cache.get_or_compile(&dag, request.dag, &self.config)?;
+        run_on(machine, &compiled, &request.inputs).map_err(|error| ServeError::Sim {
+            request: idx,
+            error,
+        })
+    }
+
+    fn finish_report(
+        &self,
+        results: Vec<RunResult>,
+        workers: usize,
+        started: Instant,
+    ) -> ServingReport {
+        let costs: Vec<u64> = results.iter().map(|r| r.cycles).collect();
+        let plan = plan_rounds(&costs, self.options.cores.max(1));
+        let mut activity = Activity::default();
+        let mut total_dag_ops = 0;
+        for r in &results {
+            activity.absorb(&r.activity);
+            total_dag_ops += r.dag_ops;
+        }
+        ServingReport {
+            results,
+            activity,
+            total_dag_ops,
+            plan,
+            cache: self.cache.stats(),
+            workers,
+            host_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Structural equality of two DAGs — the collision check behind
+/// [`Engine::register`]. (The `Dag` type itself does not implement
+/// `PartialEq`.)
+fn same_structure(a: &Dag, b: &Dag) -> bool {
+    a.len() == b.len()
+        && a.nodes()
+            .all(|n| a.op(n) == b.op(n) && a.preds(n) == b.preds(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_dag::{DagBuilder, Op};
+
+    fn engine() -> Engine {
+        Engine::new(
+            ArchConfig::new(2, 8, 16).unwrap(),
+            CompileOptions::default(),
+            EngineOptions {
+                workers: 4,
+                cores: 4,
+                cache_capacity: None,
+            },
+        )
+    }
+
+    fn simple_dag(extra: usize) -> Dag {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let mut acc = b.node(Op::Add, &[x, y]).unwrap();
+        for _ in 0..extra {
+            acc = b.node(Op::Mul, &[acc, y]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn serves_and_reports() {
+        let e = engine();
+        let k = e.register(simple_dag(0));
+        let reqs: Vec<Request> = (0..10)
+            .map(|i| Request::new(k, vec![i as f32, 3.0]))
+            .collect();
+        let report = e.serve(&reqs).unwrap();
+        assert_eq!(report.results.len(), 10);
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(r.outputs, vec![i as f32 + 3.0]);
+        }
+        assert_eq!(report.cache.misses, 1);
+        assert_eq!(report.cache.hits, 9);
+        assert_eq!(report.total_dag_ops, 10);
+        // 10 equal-length requests on 4 cores: 3 rounds.
+        assert_eq!(report.plan.rounds.len(), 3);
+        assert!(report.gops(300e6) > 0.0);
+    }
+
+    #[test]
+    fn unknown_dag_is_an_error() {
+        let e = engine();
+        let err = e
+            .serve(&[Request::new(DagKey(0xdead), vec![1.0])])
+            .unwrap_err();
+        assert_eq!(err, ServeError::UnknownDag(DagKey(0xdead)));
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let e = engine();
+        let a = e.register(simple_dag(2));
+        let b = e.register(simple_dag(2));
+        assert_eq!(a, b);
+        assert!(e.dag(a).is_some());
+    }
+
+    #[test]
+    fn empty_stream_is_fine() {
+        let e = engine();
+        let report = e.serve(&[]).unwrap();
+        assert!(report.results.is_empty());
+        assert_eq!(report.plan.total_cycles, 0);
+        assert_eq!(report.throughput_ops(300e6), 0.0);
+    }
+
+    #[test]
+    fn warm_precompiles() {
+        let e = engine();
+        let k = e.register(simple_dag(1));
+        e.warm(k).unwrap();
+        assert_eq!(e.cache_stats().misses, 1);
+        let report = e.serve(&[Request::new(k, vec![1.0, 2.0])]).unwrap();
+        assert_eq!(report.cache.misses, 1);
+        assert_eq!(report.cache.hits, 1);
+    }
+}

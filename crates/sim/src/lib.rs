@@ -161,6 +161,35 @@ pub struct Activity {
     pub instr_bits_fetched: u64,
 }
 
+impl Activity {
+    /// Accumulates `other` into `self` — used by batch/serving paths that
+    /// aggregate per-run counters into one report.
+    pub fn absorb(&mut self, other: &Activity) {
+        // Exhaustive destructuring (no `..`): adding a counter to the
+        // struct without aggregating it here is a compile error.
+        let Activity {
+            reg_reads,
+            reg_writes,
+            mem_reads,
+            mem_writes,
+            pe_arith_ops,
+            pe_bypass_ops,
+            execs,
+            crossbar_hops,
+            instr_bits_fetched,
+        } = *other;
+        self.reg_reads += reg_reads;
+        self.reg_writes += reg_writes;
+        self.mem_reads += mem_reads;
+        self.mem_writes += mem_writes;
+        self.pe_arith_ops += pe_arith_ops;
+        self.pe_bypass_ops += pe_bypass_ops;
+        self.execs += execs;
+        self.crossbar_hops += crossbar_hops;
+        self.instr_bits_fetched += instr_bits_fetched;
+    }
+}
+
 /// Result of one program run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
@@ -184,6 +213,12 @@ pub struct Machine {
     banks: Vec<Vec<Option<f32>>>,
     /// Data memory as rows of `B` words.
     data: Vec<Vec<f32>>,
+    /// Rows written since the last reset. [`Machine::reset`] re-zeroes
+    /// only these, which keeps reset O(touched) instead of O(memory) —
+    /// DPU-v2 (L) carries megabytes of data memory, and the serving hot
+    /// path resets per request.
+    dirty_rows: Vec<u32>,
+    dirty: Vec<bool>,
     /// In-flight exec writebacks: land at the *end* of the keyed cycle.
     pending: HashMap<u64, Vec<(u32, f32)>>,
     cycle: u64,
@@ -197,10 +232,46 @@ impl Machine {
             cfg,
             banks: vec![vec![None; cfg.regs_per_bank as usize]; cfg.banks as usize],
             data: vec![vec![0.0; cfg.banks as usize]; cfg.data_mem_rows as usize],
+            dirty_rows: Vec::new(),
+            dirty: vec![false; cfg.data_mem_rows as usize],
             pending: HashMap::new(),
             cycle: 0,
             activity: Activity::default(),
         }
+    }
+
+    /// Marks a data row as written since the last reset.
+    fn mark_dirty(&mut self, row: u32) {
+        if !self.dirty[row as usize] {
+            self.dirty[row as usize] = true;
+            self.dirty_rows.push(row);
+        }
+    }
+
+    /// Returns the machine to its power-on state — all registers invalid,
+    /// data memory zeroed, no in-flight writebacks, cycle 0, activity
+    /// cleared — **without reallocating** the register file or data
+    /// memory. Serving paths call this between requests so per-request
+    /// allocation disappears from the hot path; a reset machine behaves
+    /// identically to a fresh [`Machine::new`] with the same config.
+    pub fn reset(&mut self) {
+        for bank in &mut self.banks {
+            bank.fill(None);
+        }
+        // Only rows written since the last reset can be nonzero.
+        for &row in &self.dirty_rows {
+            self.data[row as usize].fill(0.0);
+            self.dirty[row as usize] = false;
+        }
+        self.dirty_rows.clear();
+        self.pending.clear();
+        self.cycle = 0;
+        self.activity = Activity::default();
+    }
+
+    /// The configuration this machine models.
+    pub fn config(&self) -> &ArchConfig {
+        &self.cfg
     }
 
     /// Writes `value` into data-memory word `(row, col)` — the host-side
@@ -215,6 +286,7 @@ impl Machine {
             .get_mut(row as usize)
             .ok_or(SimError::RowOutOfRange { row })?;
         r[col as usize] = value;
+        self.mark_dirty(row);
         Ok(())
     }
 
@@ -323,6 +395,7 @@ impl Machine {
                     return Err(SimError::RowOutOfRange { row: *row });
                 }
                 self.activity.mem_writes += 1;
+                self.mark_dirty(*row);
                 for (bank, r) in reads.iter().enumerate() {
                     if let Some(r) = r {
                         let v = self.read_reg(r.bank, r.addr)?;
@@ -339,6 +412,7 @@ impl Machine {
                     return Err(SimError::RowOutOfRange { row: *row });
                 }
                 self.activity.mem_writes += 1;
+                self.mark_dirty(*row);
                 for r in reads {
                     let v = self.read_reg(r.bank, r.addr)?;
                     self.activity.reg_reads += 1;
@@ -500,12 +574,36 @@ impl Machine {
 ///
 /// Panics if `inputs` does not match the DAG's input count.
 pub fn run(compiled: &Compiled, inputs: &[f32]) -> Result<RunResult, SimError> {
+    let mut m = Machine::new(compiled.program.config);
+    run_on(&mut m, compiled, inputs)
+}
+
+/// Like [`run`], but executes on a caller-owned [`Machine`], resetting it
+/// first instead of allocating a fresh one. This is the serving hot path:
+/// a worker thread owns one machine and reuses it across requests. If the
+/// machine's configuration does not match the program's, it is rebuilt
+/// (the one case that still allocates).
+///
+/// The result is identical to [`run`] for the same `(compiled, inputs)`.
+///
+/// # Errors
+///
+/// See [`SimError`].
+///
+/// # Panics
+///
+/// Panics if `inputs` does not match the DAG's input count.
+pub fn run_on(m: &mut Machine, compiled: &Compiled, inputs: &[f32]) -> Result<RunResult, SimError> {
     assert_eq!(
         inputs.len(),
         compiled.layout.input_slots.len(),
         "input count mismatch"
     );
-    let mut m = Machine::new(compiled.program.config);
+    if *m.config() == compiled.program.config {
+        m.reset();
+    } else {
+        *m = Machine::new(compiled.program.config);
+    }
     for (&(row, col), &v) in compiled.layout.input_slots.iter().zip(inputs) {
         if row != u32::MAX {
             m.poke(row, col, v)?;
@@ -612,9 +710,11 @@ pub fn run_batch(
 ) -> Result<BatchResult, SimError> {
     assert!(cores > 0, "cores must be positive");
     assert!(!batch.is_empty(), "batch must not be empty");
+    // One machine, reset per input: no per-request allocation.
+    let mut m = Machine::new(compiled.program.config);
     let mut runs = Vec::with_capacity(batch.len());
     for inputs in batch {
-        runs.push(run(compiled, inputs)?);
+        runs.push(run_on(&mut m, compiled, inputs)?);
     }
     let rounds = batch.len().div_ceil(cores) as u64;
     let per_run = runs.iter().map(|r| r.cycles).max().expect("non-empty");
@@ -764,6 +864,74 @@ mod tests {
             m.step(&Instr::Load { row: 0, mask }),
             Err(SimError::BankOverflow { bank: 0, .. })
         ));
+    }
+
+    #[test]
+    fn reset_machine_matches_fresh_run() {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let s = b.node(Op::Add, &[x, y]).unwrap();
+        b.node(Op::Mul, &[s, y]).unwrap();
+        let dag = b.finish().unwrap();
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let compiled = compile(&dag, &cfg, &CompileOptions::default()).unwrap();
+        let mut m = Machine::new(cfg);
+        for inputs in [[1.0f32, 2.0], [-3.5, 0.25], [7.0, 7.0]] {
+            let reused = run_on(&mut m, &compiled, &inputs).unwrap();
+            let fresh = run(&compiled, &inputs).unwrap();
+            assert_eq!(reused, fresh);
+        }
+    }
+
+    #[test]
+    fn run_on_rebuilds_on_config_mismatch() {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        b.node(Op::Add, &[x, x]).unwrap();
+        let dag = b.finish().unwrap();
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let compiled = compile(&dag, &cfg, &CompileOptions::default()).unwrap();
+        let mut m = Machine::new(ArchConfig::new(1, 4, 8).unwrap());
+        let r = run_on(&mut m, &compiled, &[2.5]).unwrap();
+        assert_eq!(r.outputs, vec![5.0]);
+        assert_eq!(*m.config(), cfg);
+    }
+
+    #[test]
+    fn batch_reuses_machine_and_matches_individual_runs() {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        b.node(Op::Mul, &[x, y]).unwrap();
+        let dag = b.finish().unwrap();
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let compiled = compile(&dag, &cfg, &CompileOptions::default()).unwrap();
+        let batch: Vec<Vec<f32>> = (0..7).map(|i| vec![i as f32, 2.0]).collect();
+        let res = run_batch(&compiled, &batch, 4).unwrap();
+        for (i, r) in res.runs.iter().enumerate() {
+            assert_eq!(r, &run(&compiled, &batch[i]).unwrap());
+        }
+        // 7 inputs on 4 cores -> 2 rounds of the program length.
+        assert_eq!(res.batch_cycles, 2 * res.runs[0].cycles);
+    }
+
+    #[test]
+    fn activity_absorb_sums_fields() {
+        let mut a = Activity {
+            reg_reads: 1,
+            execs: 2,
+            ..Activity::default()
+        };
+        let b = Activity {
+            reg_reads: 10,
+            mem_writes: 3,
+            ..Activity::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.reg_reads, 11);
+        assert_eq!(a.mem_writes, 3);
+        assert_eq!(a.execs, 2);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::error::Error;
 use std::fmt;
 
+use dpu_dag::{Dag, DagBuilder, NodeId, Op};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -307,9 +308,116 @@ pub fn parse_matrix_market(text: &str) -> Result<CsrMatrix, MtxError> {
     Ok(CsrMatrix::from_triplets(dim, triplets))
 }
 
+/// A sparse matrix–vector product (`y = A·x`) compute DAG — the third
+/// irregular-workload family served by the runtime benchmarks, alongside
+/// probabilistic circuits and SpTRSV. Unlike SpTRSV there is no
+/// cross-row dependence, so the DAG is wide and shallow: per-row dot
+/// products of stored values against the dense `x`.
+#[derive(Debug, Clone)]
+pub struct SpmvDag {
+    /// The computation DAG.
+    pub dag: Dag,
+    /// Node computing each `y_i`.
+    pub y_nodes: Vec<NodeId>,
+    /// Matrix dimension.
+    pub dim: usize,
+    /// Stored nonzeros of the matrix the DAG was built from.
+    pub nnz: usize,
+}
+
+impl SpmvDag {
+    /// Builds the SpMV DAG for `a`.
+    ///
+    /// Input order (for [`SpmvDag::inputs`] and
+    /// [`dpu_dag::eval::evaluate`]): all `x_j` first, then the CSR values
+    /// of `a` row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row of `a` is empty (its `y_i` would be the constant
+    /// 0, which the DAG substrate has no node for).
+    pub fn build(a: &CsrMatrix) -> SpmvDag {
+        let n = a.dim;
+        let mut b = DagBuilder::with_capacity(2 * a.nnz() + n, 3 * a.nnz());
+        let x_in: Vec<NodeId> = (0..n).map(|_| b.input()).collect();
+        let val_in: Vec<NodeId> = (0..a.nnz()).map(|_| b.input()).collect();
+        let mut y_nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let (s, e) = (a.offsets[i], a.offsets[i + 1]);
+            assert!(s < e, "row {i} is empty");
+            let terms: Vec<NodeId> = (s..e)
+                .map(|k| {
+                    b.node(Op::Mul, &[val_in[k], x_in[a.indices[k]]])
+                        .expect("valid by construction")
+                })
+                .collect();
+            let y = if terms.len() == 1 {
+                terms[0]
+            } else {
+                b.node(Op::Add, &terms).expect("valid by construction")
+            };
+            y_nodes.push(y);
+        }
+        SpmvDag {
+            dag: b.finish().expect("non-empty"),
+            y_nodes,
+            dim: n,
+            nnz: a.nnz(),
+        }
+    }
+
+    /// Flattens `(a, x)` into the DAG's input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`/`x` do not match the dimensions the DAG was built
+    /// with.
+    pub fn inputs(&self, a: &CsrMatrix, x: &[f32]) -> Vec<f32> {
+        assert_eq!(a.dim, self.dim, "matrix dimension mismatch");
+        assert_eq!(a.nnz(), self.nnz, "nonzero count mismatch");
+        assert_eq!(x.len(), self.dim, "vector dimension mismatch");
+        let mut inputs = Vec::with_capacity(self.dim + self.nnz);
+        inputs.extend_from_slice(x);
+        inputs.extend_from_slice(&a.values);
+        inputs
+    }
+
+    /// Extracts `y` from a full evaluation/readback of the DAG's values.
+    pub fn product(&self, values: &[f32]) -> Vec<f32> {
+        self.y_nodes.iter().map(|n| values[n.index()]).collect()
+    }
+}
+
+/// Reference `y = A·x` for verifying [`SpmvDag`].
+pub fn spmv_reference(a: &CsrMatrix, x: &[f32]) -> Vec<f32> {
+    (0..a.dim)
+        .map(|i| a.row(i).map(|(c, v)| v * x[c]).sum())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spmv_dag_matches_reference() {
+        let p = LowerTriangularParams {
+            dim: 40,
+            avg_nnz_per_row: 3.0,
+            band_fraction: 0.7,
+            band: 6,
+        };
+        let a = generate_lower_triangular(&p, 9);
+        let spmv = SpmvDag::build(&a);
+        let x: Vec<f32> = (0..a.dim).map(|i| 0.3 + (i as f32 * 0.11).cos()).collect();
+        let vals = dpu_dag::eval::evaluate(&spmv.dag, &spmv.inputs(&a, &x)).unwrap();
+        let y = spmv.product(&vals);
+        let want = spmv_reference(&a, &x);
+        assert_eq!(y.len(), a.dim);
+        for (g, w) in y.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
 
     #[test]
     fn triplets_roundtrip() {

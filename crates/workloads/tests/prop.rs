@@ -69,6 +69,7 @@ proptest! {
         for &(r, c, v) in &triplets {
             dense[r][c] += v;
         }
+        #[allow(clippy::needless_range_loop)] // r indexes both dense and m.row
         for r in 0..dim {
             for (c, v) in m.row(r) {
                 prop_assert!((dense[r][c] - v).abs() < 1e-4);

@@ -1,1 +1,8 @@
+//! Root facade of the DPU-v2 reproduction workspace.
+//!
+//! Re-exports [`dpu_core`] (the one-call `Dpu` API and every sub-crate)
+//! and [`dpu_runtime`] (the batch serving engine) so downstream users can
+//! depend on a single crate.
+
 pub use dpu_core as core_api;
+pub use dpu_runtime as runtime;

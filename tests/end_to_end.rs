@@ -168,9 +168,14 @@ fn every_spill_policy_stays_correct() {
     ] {
         let dpu = Dpu {
             config: cfg,
-            options: CompileOptions { spill_policy: policy, ..Default::default() },
+            options: CompileOptions {
+                spill_policy: policy,
+                ..Default::default()
+            },
         };
-        let c = dpu.compile(&dag).unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+        let c = dpu
+            .compile(&dag)
+            .unwrap_or_else(|e| panic!("{policy:?}: {e}"));
         let rep = dpu
             .execute_verified(&c, &inputs)
             .unwrap_or_else(|e| panic!("{policy:?}: {e}"));
@@ -185,7 +190,10 @@ fn reorder_window_extremes_stay_correct() {
     for window in [1usize, 2, 1000] {
         let dpu = Dpu {
             config: ArchConfig::new(3, 16, 32).unwrap(),
-            options: CompileOptions { window, ..Default::default() },
+            options: CompileOptions {
+                window,
+                ..Default::default()
+            },
         };
         let c = dpu.compile(&dag).unwrap();
         let rep = dpu.execute_verified(&c, &inputs).unwrap();

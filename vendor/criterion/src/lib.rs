@@ -1,0 +1,243 @@
+//! Offline stub of `criterion` (see `vendor/README.md`).
+//!
+//! Provides the API surface the workspace benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`Throughput`], [`BatchSize`], [`criterion_group!`] and
+//! [`criterion_main!`] — backed by a plain wall-clock loop: warm up, run
+//! `sample_size` timed samples (or until `measurement_time` elapses), and
+//! print mean ns/iter plus derived throughput. No statistics, plots, or
+//! baselines; good enough to keep `cargo bench` meaningful offline.
+
+use std::time::{Duration, Instant};
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup; ignored by this stub.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: u64,
+    per_iter_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.per_iter_ns = start.elapsed().as_nanos() as f64 / self.samples as f64;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.per_iter_ns = total.as_nanos() as f64 / self.samples as f64;
+    }
+}
+
+/// Benchmark driver with criterion's builder API.
+pub struct Criterion {
+    sample_size: u64,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+fn report(name: &str, per_iter_ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.3} Melem/s)", n as f64 * 1e3 / per_iter_ns)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  ({:.3} MiB/s)",
+                n as f64 * 1e9 / per_iter_ns / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("bench {name:<40} {per_iter_ns:>14.1} ns/iter{rate}");
+}
+
+impl Criterion {
+    /// Sets the number of timed samples.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        // Warm-up: one untimed sample (bounded by the budget's spirit, not
+        // its letter — a single call keeps slow benches tolerable).
+        let mut warm = Bencher {
+            samples: 1,
+            per_iter_ns: 0.0,
+        };
+        f(&mut warm);
+        // If one iteration already blows the measurement budget, keep the
+        // sample count at 1 instead of multiplying the overrun.
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let samples = if warm.per_iter_ns * self.sample_size as f64 > budget_ns {
+            (budget_ns / warm.per_iter_ns.max(1.0)).max(1.0) as u64
+        } else {
+            self.sample_size
+        };
+        let mut b = Bencher {
+            samples,
+            per_iter_ns: 0.0,
+        };
+        f(&mut b);
+        report(name, b.per_iter_ns, throughput);
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for derived rate reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; mirrors criterion).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one entry point, with an optional
+/// custom [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups; ignores harness CLI flags.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 4], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(50));
+    targets = trivial}
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stub of `serde` (see `vendor/README.md`).
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives so
+//! `#[derive(Serialize, Deserialize)]` and `use serde::{...}` compile
+//! unchanged. No trait machinery is provided because nothing in the
+//! workspace calls serialization at runtime.
+
+pub use serde_derive::{Deserialize, Serialize};

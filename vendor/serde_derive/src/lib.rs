@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the workspace vendors the handful of external crates the code touches
+//! (see `vendor/README.md`). Nothing in the workspace serializes at
+//! runtime — the `#[derive(Serialize, Deserialize)]` markers only document
+//! which types are wire-safe — so the derives expand to nothing. Swapping
+//! the real serde back in is a two-line change in the root manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
