@@ -1,0 +1,272 @@
+//! Async sharded serving benchmark — the continuous-ingestion counterpart
+//! of `serving_throughput`, and the source of CI's `BENCH_serving.json`.
+//!
+//! Three phases over the same 600-request, 3-family mixed stream:
+//!
+//! 1. **Gated phase** (deterministic): a 4-shard dispatcher with work
+//!    stealing off and an effectively infinite latency budget serves the
+//!    whole stream (submit → drain). Round composition, routing, cache
+//!    behavior and the modelled clock are then pure functions of the
+//!    stream, so `simulated_gops`, `cache_hit_rate` and `shard_balance`
+//!    are bit-stable across machines. Of these, `bench_gate` compares
+//!    `simulated_gops` and `cache_hit_rate` against
+//!    `bench/baseline.json`; the rest are recorded for trajectory.
+//! 2. **Open-loop phase** (observability): a 2-shard dispatcher with
+//!    stealing on replays the same requests on a Poisson arrival
+//!    schedule, reporting host-side latency/throughput and steal/close
+//!    statistics. Timing-dependent, therefore not gated.
+//! 3. **Machine-scratch microbench**: the same compiled program run with
+//!    a fresh `Machine` per request (the old allocating hot path) vs one
+//!    reused machine (`Machine::reset` + per-machine scratch buffers) —
+//!    the before/after of the simulator hot-path optimization.
+//!
+//! Every phase's outputs are verified byte-identical against a serial
+//! reference pass. Run with
+//! `cargo run --release -p dpu-bench --bin async_serving -- [--json <path>]`.
+
+use std::time::{Duration, Instant};
+
+use dpu_bench::report::{emit, json_path_flag, Json};
+use dpu_core::prelude::*;
+use dpu_core::workloads::pc::{generate_pc, pc_inputs, PcParams};
+use dpu_core::workloads::sparse::{generate_lower_triangular, LowerTriangularParams, SpmvDag};
+use dpu_core::workloads::sptrsv::SptrsvDag;
+use dpu_core::workloads::traffic::{open_loop_schedule, ArrivalPattern, TrafficParams};
+use dpu_core::{energy, runtime, sim};
+
+const REQUESTS: usize = 600;
+const GATED_SHARDS: usize = 4;
+
+struct Family {
+    name: &'static str,
+    dag: Dag,
+    inputs: Box<dyn Fn(usize) -> Vec<f32>>,
+}
+
+fn families() -> Vec<Family> {
+    let mut out = Vec::new();
+    let pc = generate_pc(&PcParams::with_targets(1_800, 13), 51);
+    {
+        let d = pc.clone();
+        out.push(Family {
+            name: "pc",
+            dag: pc,
+            inputs: Box::new(move |i| pc_inputs(&d, i as u64)),
+        });
+    }
+    let l = generate_lower_triangular(&LowerTriangularParams::for_target_path(120, 2.0, 20), 52);
+    let trsv = SptrsvDag::build(&l);
+    {
+        let dag = trsv.dag.clone();
+        out.push(Family {
+            name: "sptrsv",
+            dag,
+            inputs: Box::new(move |i| {
+                let b: Vec<f32> = (0..l.dim)
+                    .map(|j| 1.0 + 0.5 * (((i + j) as f32) * 0.37).sin())
+                    .collect();
+                trsv.inputs(&l, &b)
+            }),
+        });
+    }
+    let a = generate_lower_triangular(
+        &LowerTriangularParams {
+            dim: 150,
+            avg_nnz_per_row: 4.0,
+            band_fraction: 0.7,
+            band: 10,
+        },
+        53,
+    );
+    let spmv = SpmvDag::build(&a);
+    {
+        let dag = spmv.dag.clone();
+        out.push(Family {
+            name: "sparse",
+            dag,
+            inputs: Box::new(move |i| {
+                let x: Vec<f32> = (0..a.dim)
+                    .map(|j| 0.5 + 0.3 * (((2 * i + j) as f32) * 0.23).cos())
+                    .collect();
+                spmv.inputs(&a, &x)
+            }),
+        });
+    }
+    out
+}
+
+/// Asserts `got` is bit-identical to `want` (outputs and cycles).
+fn assert_identical(got: &RunResult, want: &RunResult, ctx: &str) {
+    let got_bits: Vec<u32> = got.outputs.iter().map(|v| v.to_bits()).collect();
+    let want_bits: Vec<u32> = want.outputs.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got_bits, want_bits, "{ctx}: outputs differ");
+    assert_eq!(got.cycles, want.cycles, "{ctx}: cycles differ");
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let json_path = json_path_flag();
+    let dpu = Dpu::large();
+    let freq = energy::calib::FREQ_HZ;
+    let fams = families();
+
+    // One schedule drives every phase: uniform family mix, Poisson times.
+    let schedule = open_loop_schedule(&TrafficParams {
+        requests: REQUESTS,
+        rate_per_sec: 3_000.0,
+        pattern: ArrivalPattern::Poisson,
+        families: fams.len(),
+        skew: 0.0,
+        seed: 61,
+    });
+    let build_request = |engine_keys: &[DagKey], i: usize| {
+        let a = &schedule[i];
+        Request::new(engine_keys[a.family], (fams[a.family].inputs)(a.seq))
+    };
+
+    // Serial reference pass: one engine, one machine, arrival order.
+    let ref_engine = dpu.engine(EngineOptions::default());
+    let ref_keys: Vec<DagKey> = fams
+        .iter()
+        .map(|f| ref_engine.register(f.dag.clone()))
+        .collect();
+    let ref_stream: Vec<Request> = (0..REQUESTS).map(|i| build_request(&ref_keys, i)).collect();
+    let reference = ref_engine
+        .serve_serial(&ref_stream)
+        .expect("serial reference succeeds");
+
+    // Phase 1: deterministic gated run on GATED_SHARDS replica shards.
+    let gated = dpu.dispatcher(DispatchOptions {
+        shards: GATED_SHARDS,
+        max_batch: 32,
+        max_wait: Duration::from_secs(3600), // never: rounds close by size/flush
+        work_stealing: false,                // keep routing deterministic
+        ..Default::default()
+    });
+    let keys: Vec<DagKey> = fams.iter().map(|f| gated.register(f.dag.clone())).collect();
+    let submitter = gated.submitter();
+    let gated_host = Instant::now();
+    let tickets: Vec<Ticket> = (0..REQUESTS)
+        .map(|i| submitter.submit(build_request(&keys, i)).expect("accepted"))
+        .collect();
+    gated.drain();
+    let gated_host_seconds = gated_host.elapsed().as_secs_f64();
+    for (i, t) in tickets.into_iter().enumerate() {
+        let got = t.wait().expect("request succeeds");
+        assert_identical(&got, &reference.results[i], &format!("gated request {i}"));
+    }
+    let gated_report = gated.shutdown();
+    assert_eq!(gated_report.served, REQUESTS as u64, "loss-free drain");
+    let gated_cache = gated_report.cache_totals();
+
+    // Phase 2: open-loop replay with stealing on, paced by the schedule.
+    let open = dpu.dispatcher(DispatchOptions {
+        shards: 2,
+        max_batch: 24,
+        max_wait: Duration::from_micros(500),
+        work_stealing: true,
+        ..Default::default()
+    });
+    let keys: Vec<DagKey> = fams.iter().map(|f| open.register(f.dag.clone())).collect();
+    let submitter = open.submitter();
+    let replay_start = Instant::now();
+    let mut open_tickets = Vec::with_capacity(REQUESTS);
+    for (i, arrival) in schedule.iter().enumerate() {
+        if let Some(wait) = arrival.at.checked_sub(replay_start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        open_tickets.push(submitter.submit(build_request(&keys, i)).expect("accepted"));
+    }
+    open.drain();
+    let open_host_seconds = replay_start.elapsed().as_secs_f64();
+    for (i, t) in open_tickets.into_iter().enumerate() {
+        let got = t.wait().expect("request succeeds");
+        assert_identical(
+            &got,
+            &reference.results[i],
+            &format!("open-loop request {i}"),
+        );
+    }
+    let open_report = open.shutdown();
+    assert_eq!(open_report.served, REQUESTS as u64, "loss-free drain");
+
+    // Phase 3: machine-scratch before/after. Same program, same inputs:
+    // a fresh Machine per request (per-request allocation, the pre-scratch
+    // hot path) vs one reused machine (reset + scratch buffers).
+    let compiled = dpu.compile(&fams[0].dag).expect("compiles");
+    let scratch_inputs: Vec<Vec<f32>> = (0..200).map(|i| (fams[0].inputs)(i)).collect();
+    let t0 = Instant::now();
+    for inputs in &scratch_inputs {
+        let fresh = sim::run(&compiled, inputs).expect("runs"); // allocates per request
+        std::hint::black_box(fresh);
+    }
+    let fresh_seconds = t0.elapsed().as_secs_f64();
+    let mut machine = sim::Machine::new(*ref_engine.config());
+    let t1 = Instant::now();
+    for inputs in &scratch_inputs {
+        let reused = sim::run_on(&mut machine, &compiled, inputs).expect("runs");
+        std::hint::black_box(reused);
+    }
+    let reused_seconds = t1.elapsed().as_secs_f64();
+
+    let shard_arr = |r: &DispatchReport| {
+        Json::Arr(
+            r.shards
+                .iter()
+                .map(|s| {
+                    Json::obj()
+                        .field("requests", s.requests)
+                        .field("rounds", s.rounds)
+                        .field("stolen_rounds", s.stolen_rounds)
+                        .field("modelled_cycles", s.modelled_cycles)
+                        .field("cache_hit_rate", s.cache.hit_rate())
+                        .field("compiles", s.cache.misses)
+                })
+                .collect(),
+        )
+    };
+    let report = Json::obj()
+        .field("bench", "async_serving")
+        .field("requests", REQUESTS)
+        .field(
+            "families",
+            Json::Arr(fams.iter().map(|f| f.name.into()).collect()),
+        )
+        .field("shards", GATED_SHARDS)
+        .field("modelled_cores_per_shard", runtime::DPU_V2_L_CORES)
+        // Gated, machine-independent fields (see bench_gate).
+        .field("simulated_gops", gated_report.gops(freq))
+        .field("modelled_cycles", gated_report.modelled_cycles())
+        .field("total_dag_ops", gated_report.total_dag_ops())
+        .field("cache_hit_rate", gated_cache.hit_rate())
+        .field("compiles", gated_cache.misses)
+        .field("shard_balance", gated_report.shard_balance())
+        .field("verified", true)
+        // Host-side observability (machine-dependent, not gated).
+        .field("host_seconds", gated_host_seconds)
+        .field("host_rps", REQUESTS as f64 / gated_host_seconds.max(1e-9))
+        .field("gated_shards", shard_arr(&gated_report))
+        .field(
+            "open_loop",
+            Json::obj()
+                .field("shards", open_report.shards.len())
+                .field("arrival", "poisson")
+                .field("offered_rps", 3_000.0)
+                .field("host_seconds", open_host_seconds)
+                .field("rounds_closed_full", open_report.rounds_closed_full)
+                .field("rounds_closed_timer", open_report.rounds_closed_timer)
+                .field("rounds_closed_flush", open_report.rounds_closed_flush)
+                .field("steal_rate", open_report.steal_rate())
+                .field("shard_balance", open_report.shard_balance())
+                .field("shards_detail", shard_arr(&open_report)),
+        )
+        .field(
+            "machine_scratch",
+            Json::obj()
+                .field("runs", scratch_inputs.len())
+                .field("fresh_machine_seconds", fresh_seconds)
+                .field("reused_machine_seconds", reused_seconds)
+                .field("reuse_speedup", fresh_seconds / reused_seconds.max(1e-9)),
+        );
+    emit(&report, json_path.as_deref());
+}

@@ -1,0 +1,124 @@
+//! CI bench-regression gate: compares a freshly produced
+//! `BENCH_serving.json` against the committed `bench/baseline.json` and
+//! exits non-zero on a throughput regression beyond the tolerance.
+//!
+//! Only **machine-independent** fields are gated — the `async_serving`
+//! benchmark's gated phase is deterministic (fixed schedule, fixed
+//! routing, no stealing, no timer closes), so `simulated_gops` is
+//! bit-stable on every machine and a >10% drop can only mean a real
+//! change in compiler output, simulator timing, or dispatch packing.
+//! Host wall-clock fields vary by machine and are deliberately ignored.
+//!
+//! Usage:
+//! `cargo run --release -p dpu-bench --bin bench_gate -- \
+//!    [--current BENCH_serving.json] [--baseline bench/baseline.json] \
+//!    [--tolerance-pct 10]`
+//!
+//! When throughput *improves* past the tolerance the gate passes but
+//! prints a reminder to refresh the baseline, so the ratchet moves up.
+
+use std::process::ExitCode;
+
+use dpu_bench::report::Json;
+
+struct Args {
+    current: String,
+    baseline: String,
+    tolerance_pct: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        current: "BENCH_serving.json".into(),
+        baseline: "bench/baseline.json".into(),
+        tolerance_pct: 10.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = || it.next().unwrap_or_else(|| panic!("{arg} needs a value"));
+        match arg.as_str() {
+            "--current" => args.current = take(),
+            "--baseline" => args.baseline = take(),
+            "--tolerance-pct" => args.tolerance_pct = take().parse().expect("numeric tolerance"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    args
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn num(doc: &Json, key: &str, path: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}: missing numeric field `{key}`"))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args();
+    let current = load(&args.current)?;
+    let baseline = load(&args.baseline)?;
+    let tol = args.tolerance_pct / 100.0;
+
+    // The bench itself must have verified its outputs against serial.
+    if current.get("verified").and_then(Json::as_bool) != Some(true) {
+        return Err(format!("{}: `verified` is not true", args.current));
+    }
+    // Same experiment shape, otherwise the comparison is meaningless.
+    for key in ["requests", "shards"] {
+        let (c, b) = (
+            num(&current, key, &args.current)?,
+            num(&baseline, key, &args.baseline)?,
+        );
+        if c != b {
+            return Err(format!(
+                "experiment shape changed: `{key}` is {c} but baseline has {b} \
+                 — refresh bench/baseline.json in the same commit"
+            ));
+        }
+    }
+
+    // The throughput ratchet. Higher is better for every gated metric.
+    let mut failed = false;
+    for key in ["simulated_gops", "cache_hit_rate"] {
+        let c = num(&current, key, &args.current)?;
+        let b = num(&baseline, key, &args.baseline)?;
+        let change = if b != 0.0 { (c - b) / b } else { 0.0 };
+        let verdict = if change < -tol {
+            failed = true;
+            "FAIL"
+        } else if change > tol {
+            "pass (improved — consider refreshing bench/baseline.json)"
+        } else {
+            "pass"
+        };
+        println!(
+            "bench-gate: {key}: current {c:.4} vs baseline {b:.4} ({:+.1}%) … {verdict}",
+            change * 100.0
+        );
+    }
+    if failed {
+        return Err(format!(
+            "throughput regressed more than {:.0}% — investigate, or update \
+             bench/baseline.json if the regression is intended",
+            args.tolerance_pct
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => {
+            println!("bench-gate: OK");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("bench-gate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -8,8 +8,12 @@
 //! JSON perf line with cache hit rate, simulated GOPS, and host
 //! wall-clock.
 //!
-//! Run with `cargo run --release -p dpu-bench --bin serving_throughput`.
+//! Run with `cargo run --release -p dpu-bench --bin serving_throughput --
+//! [--json <path>]` — the `--json` flag additionally writes the perf line
+//! to a file for CI artifacts (shared across the serving benches, see
+//! `dpu_bench::report`).
 
+use dpu_bench::report::{emit, json_path_flag, Json};
 use dpu_core::prelude::*;
 use dpu_core::workloads::pc::{generate_pc, pc_inputs, PcParams};
 use dpu_core::workloads::sparse::{generate_lower_triangular, LowerTriangularParams, SpmvDag};
@@ -138,34 +142,40 @@ fn main() {
     );
 
     let freq = energy::calib::FREQ_HZ;
-    // One machine-readable perf line (JSON, hand-rendered: the vendored
-    // serde stub has no serializer).
-    println!(
-        "{{\"bench\":\"serving_throughput\",\"requests\":{},\"workers\":{},\"host_cpus\":{},\
-         \"families\":{:?},\
-         \"distinct_dags\":{},\"cache_hit_rate\":{:.4},\"compiles\":{},\
-         \"batch_rounds\":{},\"modelled_cores\":{},\"batch_cycles\":{},\
-         \"simulated_gops\":{:.3},\"core_utilization\":{:.3},\
-         \"host_seconds\":{:.4},\"host_rps\":{:.0},\
-         \"serial_host_seconds\":{:.4},\"speedup\":{:.2},\"verified\":{}}}",
-        report.results.len(),
-        report.workers,
-        std::thread::available_parallelism().map_or(0, |n| n.get()),
-        family_names,
-        fams.len(),
-        report.cache.hit_rate(),
-        report.cache.misses,
-        report.plan.rounds.len(),
-        report.plan.cores,
-        report.plan.total_cycles,
-        report.gops(freq),
-        report
-            .plan
-            .core_utilization(&report.results.iter().map(|r| r.cycles).collect::<Vec<_>>()),
-        report.host_seconds,
-        report.host_requests_per_sec(),
-        reference.host_seconds,
-        reference.host_seconds / report.host_seconds.max(1e-9),
-        verified
-    );
+    // One machine-readable perf line (built through `dpu_bench::report`:
+    // the vendored serde stub has no serializer).
+    let line = Json::obj()
+        .field("bench", "serving_throughput")
+        .field("requests", report.results.len())
+        .field("workers", report.workers)
+        .field(
+            "host_cpus",
+            std::thread::available_parallelism().map_or(0, |n| n.get()),
+        )
+        .field(
+            "families",
+            Json::Arr(family_names.iter().map(|&n| n.into()).collect()),
+        )
+        .field("distinct_dags", fams.len())
+        .field("cache_hit_rate", report.cache.hit_rate())
+        .field("compiles", report.cache.misses)
+        .field("batch_rounds", report.plan.rounds.len())
+        .field("modelled_cores", report.plan.cores)
+        .field("batch_cycles", report.plan.total_cycles)
+        .field("simulated_gops", report.gops(freq))
+        .field(
+            "core_utilization",
+            report
+                .plan
+                .core_utilization(&report.results.iter().map(|r| r.cycles).collect::<Vec<_>>()),
+        )
+        .field("host_seconds", report.host_seconds)
+        .field("host_rps", report.host_requests_per_sec())
+        .field("serial_host_seconds", reference.host_seconds)
+        .field(
+            "speedup",
+            reference.host_seconds / report.host_seconds.max(1e-9),
+        )
+        .field("verified", verified);
+    emit(&line, json_path_flag().as_deref());
 }

@@ -15,6 +15,7 @@
 //! at so EXPERIMENTS.md can record it.
 
 pub mod experiments;
+pub mod report;
 
 use dpu_core::prelude::*;
 use dpu_core::sim;

@@ -44,7 +44,9 @@ use dpu_compiler::{compile, CompileError, CompileOptions, Compiled};
 use dpu_dag::Dag;
 use dpu_energy::Metrics;
 use dpu_isa::ArchConfig;
-use dpu_runtime::{Engine, EngineOptions, Request, ServeError, ServingReport};
+use dpu_runtime::{
+    DispatchOptions, Dispatcher, Engine, EngineOptions, Request, ServeError, ServingReport,
+};
 use dpu_sim::{RunResult, SimError, VerifyReport};
 
 /// Convenience prelude: the types most programs need.
@@ -54,7 +56,10 @@ pub mod prelude {
     pub use dpu_dag::{Dag, DagBuilder, NodeId, Op};
     pub use dpu_energy::Metrics;
     pub use dpu_isa::{ArchConfig, Topology};
-    pub use dpu_runtime::{DagKey, Engine, EngineOptions, Request, ServingReport};
+    pub use dpu_runtime::{
+        DagKey, DispatchOptions, DispatchReport, Dispatcher, Engine, EngineOptions, Request,
+        ServingReport, Submitter, Ticket,
+    };
     pub use dpu_sim::{RunResult, VerifyReport};
 }
 
@@ -100,7 +105,7 @@ impl Dpu {
     ///
     /// # Errors
     ///
-    /// See [`SimError`](dpu_sim::SimError).
+    /// See [`SimError`].
     pub fn execute(&self, compiled: &Compiled, inputs: &[f32]) -> Result<RunResult, SimError> {
         dpu_sim::run(compiled, inputs)
     }
@@ -109,7 +114,7 @@ impl Dpu {
     ///
     /// # Errors
     ///
-    /// See [`SimError`](dpu_sim::SimError).
+    /// See [`SimError`].
     pub fn execute_verified(
         &self,
         compiled: &Compiled,
@@ -129,6 +134,16 @@ impl Dpu {
     /// stays warm.
     pub fn engine(&self, options: EngineOptions) -> Engine {
         Engine::new(self.config, self.options.clone(), options)
+    }
+
+    /// Builds an async sharded [`Dispatcher`] for this instance: requests
+    /// flow in continuously through [`Submitter`](dpu_runtime::Submitter)
+    /// handles, rounds close adaptively under the latency budget, and
+    /// each request is routed to one of `options.shards` engine replicas
+    /// by its DAG fingerprint (warm-cache affinity, work-stealing
+    /// fallback). See `dpu-runtime`'s `dispatch` module docs.
+    pub fn dispatcher(&self, options: DispatchOptions) -> Dispatcher {
+        Dispatcher::new(self.config, self.options.clone(), options)
     }
 
     /// One-call batch serving: registers `dags`, then serves `requests`
@@ -185,6 +200,36 @@ mod tests {
     #[test]
     fn large_config_has_more_registers() {
         assert!(Dpu::large().config.regs_per_bank > Dpu::min_edp().config.regs_per_bank);
+    }
+
+    #[test]
+    fn facade_dispatches_async() {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        b.node(Op::Mul, &[x, y]).unwrap();
+        let dag = b.finish().unwrap();
+        let dpu = Dpu::new(ArchConfig::new(2, 8, 16).unwrap());
+        let dispatcher = dpu.dispatcher(DispatchOptions {
+            shards: 2,
+            max_batch: 4,
+            ..Default::default()
+        });
+        let key = dispatcher.register(dag);
+        let submitter = dispatcher.submitter();
+        let tickets: Vec<Ticket> = (0..9)
+            .map(|i| {
+                submitter
+                    .submit(Request::new(key, vec![i as f32, 3.0]))
+                    .unwrap()
+            })
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait().unwrap().outputs, vec![i as f32 * 3.0]);
+        }
+        let report = dispatcher.shutdown();
+        assert_eq!(report.submitted, 9);
+        assert_eq!(report.served, 9);
     }
 
     #[test]

@@ -1,0 +1,722 @@
+//! Sharded multi-engine dispatcher: continuous ingestion, adaptive round
+//! closing, warm-cache affinity routing, and work stealing.
+//!
+//! The [`Dispatcher`] is the layer above [`Engine`]: where an engine
+//! serves a pre-collected slice of requests, the dispatcher accepts
+//! requests **continuously** through [`Submitter`] handles and serves them
+//! across `N` engine shards (replicas of one [`ArchConfig`], or distinct
+//! configuration points — see [`Dispatcher::with_configs`]).
+//!
+//! - **Routing.** Each request's [`DagKey`] fingerprint picks a *home
+//!   shard* ([`home_shard`]), so repeat traffic for a DAG always lands on
+//!   the shard whose [`ProgramCache`](crate::ProgramCache) already holds
+//!   its compiled program (warm-cache affinity).
+//! - **Adaptive round closing.** The ingestion thread accumulates each
+//!   shard's pending requests into a *round* and closes it when the round
+//!   reaches [`DispatchOptions::max_batch`] requests **or** its oldest
+//!   request has waited [`DispatchOptions::max_wait`] — whichever comes
+//!   first. Bursts get full rounds; trickles get bounded latency.
+//! - **Work stealing.** An idle shard steals the most recently queued
+//!   round from the deepest backlog among shards with an identical
+//!   configuration (stealing across *distinct* configs would change
+//!   per-request cycle counts and rounding, breaking determinism). The
+//!   thief compiles through its own cache, so stealing trades a possible
+//!   cold compile for latency — exactly the real trade-off.
+//! - **Deterministic, loss-free shutdown.** Every request accepted by
+//!   [`Submitter::submit`] is executed and its [`Ticket`](crate::Ticket)
+//!   fulfilled
+//!   before [`Dispatcher::shutdown`] returns; per-request results are
+//!   byte-identical to a serial pass regardless of shard count, stealing,
+//!   or timing (a request's result depends only on its compiled program
+//!   and inputs).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dpu_compiler::CompileOptions;
+use dpu_dag::Dag;
+use dpu_isa::ArchConfig;
+use dpu_sim::Machine;
+
+use crate::cache::CacheStats;
+use crate::ingest::{Gate, Job, Submitter, TicketState};
+use crate::planner::plan_rounds;
+use crate::pool::{Engine, EngineOptions, Request};
+use crate::{DagKey, DPU_V2_L_CORES};
+
+/// Sizing and policy knobs of a [`Dispatcher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchOptions {
+    /// Number of engine shards (ignored by [`Dispatcher::with_configs`],
+    /// which takes one shard per config).
+    pub shards: usize,
+    /// Close a shard's pending round once it holds this many requests.
+    pub max_batch: usize,
+    /// ... or once its oldest request has waited this long (the latency
+    /// budget), whichever comes first.
+    pub max_wait: Duration,
+    /// Allow idle shards to steal queued rounds from same-config shards.
+    pub work_stealing: bool,
+    /// Modelled DPU cores per shard, for the simulated-clock accounting
+    /// (each executed round is packed onto these cores by
+    /// [`plan_rounds`]).
+    pub cores: usize,
+    /// Per-shard program-cache capacity (`None` = unbounded).
+    pub cache_capacity: Option<usize>,
+}
+
+impl Default for DispatchOptions {
+    fn default() -> Self {
+        DispatchOptions {
+            shards: 2,
+            max_batch: 32,
+            max_wait: Duration::from_millis(1),
+            work_stealing: true,
+            cores: DPU_V2_L_CORES,
+            cache_capacity: None,
+        }
+    }
+}
+
+/// The home shard of a DAG key among `shards` shards — the affinity half
+/// of the routing policy. [`DagKey`] is already a structural hash, so a
+/// plain modulus spreads distinct DAGs uniformly.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+pub fn home_shard(key: DagKey, shards: usize) -> usize {
+    assert!(shards > 0, "shards must be positive");
+    (key.0 % shards as u64) as usize
+}
+
+/// One closed round: the unit of dispatch between ingestion and shards.
+struct Round {
+    /// The shard this round was routed to (its keys' home).
+    home: usize,
+    /// Requests in arrival order, each with its completion handle.
+    jobs: Vec<(Request, Arc<TicketState>)>,
+}
+
+/// Per-shard queue state behind the shared lock.
+struct QueueState {
+    rounds: VecDeque<Round>,
+    /// Set once, by the ingestion thread, after the final rounds have
+    /// been queued; a shard exits when every queue it may serve is closed
+    /// and empty.
+    closed: bool,
+}
+
+/// The shared queue fabric: one lock over all shard queues, so stealing
+/// and the exit condition need no lock ordering; one condvar signalled on
+/// every push and on close.
+struct Queues {
+    inner: Mutex<Vec<QueueState>>,
+    work: Condvar,
+}
+
+/// Outstanding accepted-but-not-completed request count, for
+/// [`Dispatcher::drain`].
+struct InFlight {
+    count: Mutex<u64>,
+    zero: Condvar,
+}
+
+impl InFlight {
+    fn inc(&self) {
+        *self.count.lock().expect("in-flight poisoned") += 1;
+    }
+
+    fn dec(&self) {
+        let mut c = self.count.lock().expect("in-flight poisoned");
+        *c -= 1;
+        if *c == 0 {
+            drop(c);
+            self.zero.notify_all();
+        }
+    }
+}
+
+/// One engine shard plus its execution counters (written only by the
+/// shard's worker thread; read at shutdown).
+struct ShardState {
+    engine: Engine,
+    requests: AtomicU64,
+    rounds: AtomicU64,
+    /// Rounds this shard executed that were homed on another shard.
+    stolen: AtomicU64,
+    /// Simulated cycles of this shard's executed rounds, each packed onto
+    /// [`DispatchOptions::cores`] modelled cores.
+    modelled_cycles: AtomicU64,
+    dag_ops: AtomicU64,
+}
+
+/// Counters kept by the ingestion thread, returned when it exits.
+#[derive(Debug, Default, Clone, Copy)]
+struct IngestStats {
+    submitted: u64,
+    closed_full: u64,
+    closed_timer: u64,
+    closed_flush: u64,
+}
+
+/// Per-shard slice of a [`DispatchReport`].
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// The architecture point this shard serves.
+    pub config: ArchConfig,
+    /// Requests this shard executed.
+    pub requests: u64,
+    /// Rounds this shard executed.
+    pub rounds: u64,
+    /// Of those, rounds stolen from another shard's queue.
+    pub stolen_rounds: u64,
+    /// Simulated cycles of this shard's work on its modelled cores.
+    pub modelled_cycles: u64,
+    /// Arithmetic DAG operations served.
+    pub dag_ops: u64,
+    /// Final program-cache statistics.
+    pub cache: CacheStats,
+}
+
+/// Aggregate result of a dispatcher's lifetime, returned by
+/// [`Dispatcher::shutdown`].
+#[derive(Debug, Clone)]
+pub struct DispatchReport {
+    /// Requests accepted over the dispatcher's lifetime.
+    pub submitted: u64,
+    /// Requests executed (equals `submitted`: shutdown is loss-free).
+    pub served: u64,
+    /// Rounds closed because they reached
+    /// [`DispatchOptions::max_batch`].
+    pub rounds_closed_full: u64,
+    /// Rounds closed by the [`DispatchOptions::max_wait`] latency budget.
+    pub rounds_closed_timer: u64,
+    /// Rounds closed by [`Dispatcher::flush`] / shutdown.
+    pub rounds_closed_flush: u64,
+    /// Per-shard execution counters.
+    pub shards: Vec<ShardReport>,
+    /// Host wall-clock seconds from construction to shutdown.
+    pub host_seconds: f64,
+}
+
+impl DispatchReport {
+    /// Total arithmetic DAG operations served.
+    pub fn total_dag_ops(&self) -> u64 {
+        self.shards.iter().map(|s| s.dag_ops).sum()
+    }
+
+    /// Simulated wall-clock of the whole run: shards are independent
+    /// modelled devices running in parallel, so the makespan is the
+    /// busiest shard's cycles.
+    pub fn modelled_cycles(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.modelled_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Aggregate simulated throughput in operations per second at
+    /// `freq_hz` (DAG operations over the modelled makespan).
+    pub fn throughput_ops(&self, freq_hz: f64) -> f64 {
+        self.total_dag_ops() as f64 * freq_hz / self.modelled_cycles().max(1) as f64
+    }
+
+    /// [`DispatchReport::throughput_ops`] in GOPS.
+    pub fn gops(&self, freq_hz: f64) -> f64 {
+        self.throughput_ops(freq_hz) / 1e9
+    }
+
+    /// Shard load balance: busiest shard's requests over the per-shard
+    /// mean. 1.0 is perfect balance; `k` means the busiest shard carried
+    /// `k×` its fair share. 0.0 when nothing was served.
+    pub fn shard_balance(&self) -> f64 {
+        let total: u64 = self.shards.iter().map(|s| s.requests).sum();
+        if total == 0 || self.shards.is_empty() {
+            return 0.0;
+        }
+        let mean = total as f64 / self.shards.len() as f64;
+        let max = self.shards.iter().map(|s| s.requests).max().unwrap_or(0);
+        max as f64 / mean
+    }
+
+    /// Fraction of executed rounds that were work-stolen.
+    pub fn steal_rate(&self) -> f64 {
+        let rounds: u64 = self.shards.iter().map(|s| s.rounds).sum();
+        if rounds == 0 {
+            return 0.0;
+        }
+        let stolen: u64 = self.shards.iter().map(|s| s.stolen_rounds).sum();
+        stolen as f64 / rounds as f64
+    }
+
+    /// Aggregated program-cache statistics across shards.
+    pub fn cache_totals(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            total.hits += s.cache.hits;
+            total.misses += s.cache.misses;
+            total.evictions += s.cache.evictions;
+            total.entries += s.cache.entries;
+        }
+        total
+    }
+}
+
+/// The sharded async serving front-end. See the module docs for the
+/// execution model.
+pub struct Dispatcher {
+    shards: Vec<Arc<ShardState>>,
+    tx: crossbeam::channel::Sender<Job>,
+    shut_down: Arc<RwLock<bool>>,
+    queues: Arc<Queues>,
+    in_flight: Arc<InFlight>,
+    ingest: Option<JoinHandle<IngestStats>>,
+    workers: Vec<JoinHandle<()>>,
+    options: DispatchOptions,
+    started: Instant,
+    /// Filled by [`Dispatcher::stop`] so `shutdown` can build the report
+    /// after `Drop`-safe teardown.
+    final_ingest_stats: Option<IngestStats>,
+}
+
+impl std::fmt::Debug for Dispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatcher")
+            .field("shards", &self.shards.len())
+            .field("options", &self.options)
+            .finish()
+    }
+}
+
+impl Dispatcher {
+    /// Builds a dispatcher of [`DispatchOptions::shards`] replica shards,
+    /// every shard serving `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.shards == 0`, `options.max_batch == 0` or
+    /// `options.cores == 0`.
+    pub fn new(config: ArchConfig, compile_opts: CompileOptions, options: DispatchOptions) -> Self {
+        assert!(options.shards > 0, "at least one shard required");
+        Self::with_configs(vec![config; options.shards], compile_opts, options)
+    }
+
+    /// Builds a dispatcher with one shard per entry of `configs` —
+    /// distinct architecture points are allowed (work stealing then only
+    /// happens between shards with identical configs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty, `options.max_batch == 0` or
+    /// `options.cores == 0`.
+    pub fn with_configs(
+        configs: Vec<ArchConfig>,
+        compile_opts: CompileOptions,
+        mut options: DispatchOptions,
+    ) -> Self {
+        assert!(!configs.is_empty(), "at least one shard required");
+        assert!(options.max_batch > 0, "max_batch must be positive");
+        assert!(options.cores > 0, "cores must be positive");
+        options.shards = configs.len();
+        let n = configs.len();
+
+        let shards: Vec<Arc<ShardState>> = configs
+            .iter()
+            .map(|&config| {
+                Arc::new(ShardState {
+                    engine: Engine::new(
+                        config,
+                        compile_opts.clone(),
+                        EngineOptions {
+                            workers: 1,
+                            cores: options.cores,
+                            cache_capacity: options.cache_capacity,
+                        },
+                    ),
+                    requests: AtomicU64::new(0),
+                    rounds: AtomicU64::new(0),
+                    stolen: AtomicU64::new(0),
+                    modelled_cycles: AtomicU64::new(0),
+                    dag_ops: AtomicU64::new(0),
+                })
+            })
+            .collect();
+
+        // Steal classes: shard j may steal from shard k iff they share a
+        // class, i.e. have identical configs (identical compiled
+        // programs, hence identical per-request results).
+        let steal_class: Arc<Vec<usize>> = Arc::new(
+            configs
+                .iter()
+                .map(|c| configs.iter().position(|d| d == c).expect("self"))
+                .collect(),
+        );
+
+        let queues = Arc::new(Queues {
+            inner: Mutex::new(
+                (0..n)
+                    .map(|_| QueueState {
+                        rounds: VecDeque::new(),
+                        closed: false,
+                    })
+                    .collect(),
+            ),
+            work: Condvar::new(),
+        });
+        let in_flight = Arc::new(InFlight {
+            count: Mutex::new(0),
+            zero: Condvar::new(),
+        });
+        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+        let shut_down = Arc::new(RwLock::new(false));
+
+        let ingest = {
+            let queues = Arc::clone(&queues);
+            let in_flight = Arc::clone(&in_flight);
+            std::thread::Builder::new()
+                .name("dpu-ingest".into())
+                .spawn(move || ingest_loop(&rx, &queues, &in_flight, n, options))
+                .expect("spawn ingest thread")
+        };
+
+        let workers = (0..n)
+            .map(|i| {
+                let shards: Vec<Arc<ShardState>> = shards.clone();
+                let queues = Arc::clone(&queues);
+                let in_flight = Arc::clone(&in_flight);
+                let steal_class = Arc::clone(&steal_class);
+                std::thread::Builder::new()
+                    .name(format!("dpu-shard-{i}"))
+                    .spawn(move || {
+                        shard_loop(i, &shards, &queues, &in_flight, &steal_class, options)
+                    })
+                    .expect("spawn shard thread")
+            })
+            .collect();
+
+        Dispatcher {
+            shards,
+            tx,
+            shut_down,
+            queues,
+            in_flight,
+            ingest: Some(ingest),
+            workers,
+            options,
+            started: Instant::now(),
+            final_ingest_stats: None,
+        }
+    }
+
+    /// The options this dispatcher runs with (with `shards` normalized to
+    /// the actual shard count).
+    pub fn options(&self) -> &DispatchOptions {
+        &self.options
+    }
+
+    /// Number of engine shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Registers a DAG on **every** shard (stealing and rebalancing mean
+    /// any shard may end up executing it) and returns its content key.
+    pub fn register(&self, dag: Dag) -> DagKey {
+        let mut key = None;
+        for shard in &self.shards {
+            key = Some(shard.engine.register(dag.clone()));
+        }
+        key.expect("at least one shard")
+    }
+
+    /// A new submission handle. Cheap; clone freely across producer
+    /// threads.
+    pub fn submitter(&self) -> Submitter {
+        Submitter::new(self.tx.clone(), Arc::clone(&self.shut_down))
+    }
+
+    /// Requests the ingestion thread has picked up but that have not yet
+    /// completed. A request sits briefly in the ingestion channel between
+    /// `submit` and pickup, so this can read 0 while accepted requests
+    /// are still queued — use [`Dispatcher::drain`] (whose flush marker
+    /// is ordered behind every earlier submit) as the quiescence barrier,
+    /// not this counter.
+    pub fn in_flight(&self) -> u64 {
+        *self.in_flight.count.lock().expect("in-flight poisoned")
+    }
+
+    /// Forces every pending round closed now (instead of waiting out the
+    /// latency budget) and returns once the ingestion thread has queued
+    /// them. Does not wait for execution — tickets do that.
+    pub fn flush(&self) {
+        let gate = Arc::new(Gate::default());
+        if self.tx.send(Job::Flush(Arc::clone(&gate))).is_ok() {
+            gate.wait();
+        }
+    }
+
+    /// Flushes, then blocks until every request accepted before the flush
+    /// has completed (its ticket fulfilled). The dispatcher keeps
+    /// serving; this is a barrier, not a shutdown.
+    pub fn drain(&self) {
+        self.flush();
+        let mut count = self.in_flight.count.lock().expect("in-flight poisoned");
+        while *count > 0 {
+            count = self.in_flight.zero.wait(count).expect("in-flight poisoned");
+        }
+    }
+
+    /// Stops ingestion, executes everything already accepted, joins all
+    /// threads, and returns the lifetime report. Loss-free: every ticket
+    /// whose submit returned `Ok` is fulfilled before this returns; later
+    /// submits fail with [`SubmitError`](crate::SubmitError).
+    pub fn shutdown(mut self) -> DispatchReport {
+        self.stop();
+        let ingest = self.final_ingest_stats.unwrap_or_default();
+        let shards: Vec<ShardReport> = self
+            .shards
+            .iter()
+            .map(|s| ShardReport {
+                config: *s.engine.config(),
+                requests: s.requests.load(Ordering::Relaxed),
+                rounds: s.rounds.load(Ordering::Relaxed),
+                stolen_rounds: s.stolen.load(Ordering::Relaxed),
+                modelled_cycles: s.modelled_cycles.load(Ordering::Relaxed),
+                dag_ops: s.dag_ops.load(Ordering::Relaxed),
+                cache: s.engine.cache_stats(),
+            })
+            .collect();
+        DispatchReport {
+            submitted: ingest.submitted,
+            served: shards.iter().map(|s| s.requests).sum(),
+            rounds_closed_full: ingest.closed_full,
+            rounds_closed_timer: ingest.closed_timer,
+            rounds_closed_flush: ingest.closed_flush,
+            shards,
+            host_seconds: self.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Idempotent teardown shared by [`Dispatcher::shutdown`] and `Drop`:
+    /// reject new submissions, send the end-of-stream marker, join every
+    /// thread.
+    fn stop(&mut self) {
+        let Some(ingest) = self.ingest.take() else {
+            return; // already stopped
+        };
+        {
+            // Write lock: every submit that already returned Ok has
+            // finished its send; the marker goes behind all of them.
+            let mut flag = self.shut_down.write().expect("flag poisoned");
+            *flag = true;
+        }
+        let _ = self.tx.send(Job::Shutdown);
+        self.final_ingest_stats = Some(ingest.join().expect("ingest thread panicked"));
+        for w in self.workers.drain(..) {
+            w.join().expect("shard thread panicked");
+        }
+        debug_assert_eq!(self.in_flight(), 0, "shutdown left requests in flight");
+        debug_assert!(
+            self.queues
+                .inner
+                .lock()
+                .expect("queues poisoned")
+                .iter()
+                .all(|q| q.rounds.is_empty()),
+            "shutdown left rounds queued"
+        );
+    }
+}
+
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The ingestion loop: route, accumulate, close rounds adaptively.
+fn ingest_loop(
+    rx: &crossbeam::channel::Receiver<Job>,
+    queues: &Queues,
+    in_flight: &InFlight,
+    n: usize,
+    options: DispatchOptions,
+) -> IngestStats {
+    use crossbeam::channel::RecvTimeoutError;
+
+    let mut stats = IngestStats::default();
+    let mut pending: Vec<Vec<(Request, Arc<TicketState>)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut first_at: Vec<Option<Instant>> = vec![None; n];
+
+    let close = |s: usize,
+                 pending: &mut Vec<Vec<(Request, Arc<TicketState>)>>,
+                 first_at: &mut Vec<Option<Instant>>| {
+        if pending[s].is_empty() {
+            return false;
+        }
+        let round = Round {
+            home: s,
+            jobs: std::mem::take(&mut pending[s]),
+        };
+        first_at[s] = None;
+        let mut qs = queues.inner.lock().expect("queues poisoned");
+        qs[s].rounds.push_back(round);
+        drop(qs);
+        queues.work.notify_all();
+        true
+    };
+
+    loop {
+        // Close every round that has exhausted its latency budget.
+        let now = Instant::now();
+        for s in 0..n {
+            if first_at[s].is_some_and(|t0| now.duration_since(t0) >= options.max_wait)
+                && close(s, &mut pending, &mut first_at)
+            {
+                stats.closed_timer += 1;
+            }
+        }
+
+        // Sleep until the next message or the next round deadline.
+        let next_deadline = first_at
+            .iter()
+            .flatten()
+            .map(|&t0| t0 + options.max_wait)
+            .min();
+        let msg = match next_deadline {
+            Some(deadline) => {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(timeout) {
+                    Ok(m) => Some(m),
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => None,
+                }
+            }
+            None => rx.recv().ok(),
+        };
+
+        match msg {
+            Some(Job::Request(request, ticket)) => {
+                stats.submitted += 1;
+                in_flight.inc();
+                let s = home_shard(request.dag, n);
+                if pending[s].is_empty() {
+                    first_at[s] = Some(Instant::now());
+                }
+                pending[s].push((request, ticket));
+                if pending[s].len() >= options.max_batch && close(s, &mut pending, &mut first_at) {
+                    stats.closed_full += 1;
+                }
+            }
+            Some(Job::Flush(gate)) => {
+                for s in 0..n {
+                    if close(s, &mut pending, &mut first_at) {
+                        stats.closed_flush += 1;
+                    }
+                }
+                gate.open();
+            }
+            // End of stream: the shutdown marker, or every submitter and
+            // the dispatcher gone.
+            Some(Job::Shutdown) | None => {
+                for s in 0..n {
+                    if close(s, &mut pending, &mut first_at) {
+                        stats.closed_flush += 1;
+                    }
+                }
+                let mut qs = queues.inner.lock().expect("queues poisoned");
+                for q in qs.iter_mut() {
+                    q.closed = true;
+                }
+                drop(qs);
+                queues.work.notify_all();
+                return stats;
+            }
+        }
+    }
+}
+
+/// One shard's worker loop: pop own rounds, steal when idle, execute,
+/// fulfill tickets.
+fn shard_loop(
+    me: usize,
+    shards: &[Arc<ShardState>],
+    queues: &Queues,
+    in_flight: &InFlight,
+    steal_class: &[usize],
+    options: DispatchOptions,
+) {
+    let my = &shards[me];
+    let mut machine = Machine::new(*my.engine.config());
+    let mut costs: Vec<u64> = Vec::new();
+
+    loop {
+        let round = next_round(me, queues, steal_class, options.work_stealing);
+        let Some(round) = round else {
+            return; // all queues I can serve are closed and empty
+        };
+        if round.home != me {
+            my.stolen.fetch_add(1, Ordering::Relaxed);
+        }
+        my.rounds.fetch_add(1, Ordering::Relaxed);
+        costs.clear();
+        for (request, ticket) in &round.jobs {
+            let result = my.engine.execute(&mut machine, request);
+            if let Ok(res) = &result {
+                costs.push(res.cycles);
+                my.dag_ops.fetch_add(res.dag_ops, Ordering::Relaxed);
+            }
+            ticket.fulfill(result);
+            in_flight.dec();
+        }
+        my.requests
+            .fetch_add(round.jobs.len() as u64, Ordering::Relaxed);
+        if !costs.is_empty() {
+            let plan = plan_rounds(&costs, options.cores);
+            my.modelled_cycles
+                .fetch_add(plan.total_cycles, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Blocks until shard `me` has a round to execute: its own oldest queued
+/// round, else (with stealing) the most recently queued round of the
+/// deepest same-class backlog. Returns `None` once every queue `me` may
+/// serve is closed and empty.
+fn next_round(me: usize, queues: &Queues, steal_class: &[usize], stealing: bool) -> Option<Round> {
+    let mut qs = queues.inner.lock().expect("queues poisoned");
+    loop {
+        if let Some(round) = qs[me].rounds.pop_front() {
+            return Some(round);
+        }
+        if stealing {
+            // Deepest backlog among shards whose config matches mine.
+            let victim = (0..qs.len())
+                .filter(|&j| j != me && steal_class[j] == steal_class[me])
+                .max_by_key(|&j| qs[j].rounds.len())
+                .filter(|&j| !qs[j].rounds.is_empty());
+            if let Some(j) = victim {
+                // Steal the *newest* round: the victim drains its oldest
+                // work first, so the two meet in the middle.
+                return qs[j].rounds.pop_back();
+            }
+        }
+        let servable_done = |j: usize| qs[j].closed && qs[j].rounds.is_empty();
+        let all_done = if stealing {
+            (0..qs.len())
+                .filter(|&j| steal_class[j] == steal_class[me])
+                .all(servable_done)
+        } else {
+            servable_done(me)
+        };
+        if all_done {
+            return None;
+        }
+        qs = queues.work.wait(qs).expect("queues poisoned");
+    }
+}

@@ -1,0 +1,225 @@
+//! Async ingestion front-end: continuous request submission with
+//! per-request completion handles.
+//!
+//! [`Submitter`] is the producer half of the serving pipeline: it pushes
+//! requests into the [`Dispatcher`](crate::Dispatcher)'s ingestion channel
+//! and hands back a [`Ticket`] per request — a synchronous future the
+//! caller blocks on (or polls) for that request's [`RunResult`]. Any
+//! number of `Submitter` clones can feed the same dispatcher from any
+//! number of threads; the channel is FIFO across all of them.
+//!
+//! Loss-freedom contract: a [`Submitter::submit`] that returns `Ok` is
+//! **accepted** — its ticket is always fulfilled (with a result or a
+//! [`ServeError`]), even if the dispatcher shuts down immediately after.
+//! This is enforced by a lock handshake: `submit` holds a read lock on the
+//! dispatcher's shutdown flag across the channel send, and shutdown takes
+//! the write lock *before* enqueueing its end-of-stream marker, so on the
+//! FIFO channel every accepted request precedes the marker.
+
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+use dpu_sim::RunResult;
+
+use crate::pool::{Request, ServeError};
+
+/// Error returned by [`Submitter::submit`]: the dispatcher has shut down
+/// (the request was **not** accepted; no ticket exists). The rejected
+/// request is handed back for retry elsewhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitError(pub Request);
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "submit on a shut-down dispatcher")
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Completion state shared between a [`Ticket`] and the shard thread that
+/// fulfills it.
+#[derive(Debug)]
+pub(crate) struct TicketState {
+    slot: Mutex<Option<Result<RunResult, ServeError>>>,
+    done: Condvar,
+}
+
+impl TicketState {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(TicketState {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Completes the ticket. Called exactly once per accepted request, by
+    /// whichever shard executed it.
+    pub(crate) fn fulfill(&self, result: Result<RunResult, ServeError>) {
+        let mut slot = self.slot.lock().expect("ticket poisoned");
+        debug_assert!(slot.is_none(), "ticket fulfilled twice");
+        *slot = Some(result);
+        drop(slot);
+        self.done.notify_all();
+    }
+}
+
+/// A per-request completion handle: the synchronous future returned by
+/// [`Submitter::submit`].
+///
+/// The ticket is fulfilled by whichever engine shard executes the request;
+/// [`Ticket::wait`] blocks until then. Dropping a ticket is fine — the
+/// request still executes, its result is simply discarded.
+#[derive(Debug)]
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    pub(crate) fn new(state: Arc<TicketState>) -> Self {
+        Ticket { state }
+    }
+
+    /// Blocks until the request completes and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// The request's [`ServeError`], if it failed.
+    pub fn wait(self) -> Result<RunResult, ServeError> {
+        let mut slot = self.state.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.state.done.wait(slot).expect("ticket poisoned");
+        }
+    }
+
+    /// Like [`Ticket::wait`] with a bound: returns the ticket back as
+    /// `Err` if `timeout` elapses first.
+    ///
+    /// # Errors
+    ///
+    /// `Err(self)` on timeout — the ticket remains valid.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<RunResult, ServeError>, Ticket> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.state.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return Ok(result);
+            }
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                drop(slot);
+                return Err(self);
+            };
+            (slot, _) = self
+                .state
+                .done
+                .wait_timeout(slot, remaining)
+                .expect("ticket poisoned");
+        }
+    }
+
+    /// Whether the result is ready (a subsequent [`Ticket::wait`] will not
+    /// block).
+    pub fn is_done(&self) -> bool {
+        self.state.slot.lock().expect("ticket poisoned").is_some()
+    }
+}
+
+/// A gate for [`Dispatcher::flush`](crate::Dispatcher::flush): opened by
+/// the ingestion thread once the flush marker has been processed.
+#[derive(Debug, Default)]
+pub(crate) struct Gate {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    pub(crate) fn open(&self) {
+        *self.open.lock().expect("gate poisoned") = true;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn wait(&self) {
+        let mut open = self.open.lock().expect("gate poisoned");
+        while !*open {
+            open = self.cv.wait(open).expect("gate poisoned");
+        }
+    }
+}
+
+/// Messages flowing through the ingestion channel.
+pub(crate) enum Job {
+    /// An accepted request plus its completion handle.
+    Request(Request, Arc<TicketState>),
+    /// Close every pending round now (latency escape hatch); open the
+    /// gate once done.
+    Flush(Arc<Gate>),
+    /// End of stream: flush everything, close the shard queues, exit.
+    /// Guaranteed (by the submit/shutdown lock handshake) to follow every
+    /// accepted request in channel order.
+    Shutdown,
+}
+
+/// Handle for submitting requests to a running
+/// [`Dispatcher`](crate::Dispatcher). Cheap to clone; clones can be moved
+/// to producer threads.
+#[derive(Clone)]
+pub struct Submitter {
+    tx: crossbeam::channel::Sender<Job>,
+    shut_down: Arc<RwLock<bool>>,
+}
+
+impl std::fmt::Debug for Submitter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Submitter")
+            .field("shut_down", &*self.shut_down.read().expect("flag poisoned"))
+            .finish()
+    }
+}
+
+impl Submitter {
+    pub(crate) fn new(tx: crossbeam::channel::Sender<Job>, shut_down: Arc<RwLock<bool>>) -> Self {
+        Submitter { tx, shut_down }
+    }
+
+    /// Submits one request for asynchronous execution, returning its
+    /// completion [`Ticket`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] (with the request handed back) if the dispatcher
+    /// has shut down. An `Ok` return means the request **will** be served:
+    /// the ticket is always fulfilled.
+    pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        // Hold the read lock across the send: shutdown takes the write
+        // lock before enqueueing its marker, so an accepted request always
+        // precedes the marker on the FIFO channel (loss-freedom).
+        let guard = self.shut_down.read().expect("flag poisoned");
+        if *guard {
+            return Err(SubmitError(request));
+        }
+        let state = TicketState::new();
+        match self.tx.send(Job::Request(request, Arc::clone(&state))) {
+            Ok(()) => Ok(Ticket::new(state)),
+            Err(crossbeam::channel::SendError(Job::Request(request, _))) => {
+                Err(SubmitError(request))
+            }
+            Err(_) => unreachable!("send returns the job it was given"),
+        }
+    }
+
+    /// Submits a batch, returning one ticket per request (in order).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] on the first rejected request; earlier requests of
+    /// the batch were already accepted and will be served.
+    pub fn submit_all<I>(&self, requests: I) -> Result<Vec<Ticket>, SubmitError>
+    where
+        I: IntoIterator<Item = Request>,
+    {
+        requests.into_iter().map(|r| self.submit(r)).collect()
+    }
+}

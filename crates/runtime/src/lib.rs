@@ -16,6 +16,14 @@
 //!   and calls [`Machine::reset`](dpu_sim::Machine::reset) between
 //!   requests, so the hot path allocates nothing per request. Results are
 //!   byte-identical to serial execution regardless of worker count.
+//! - [`Dispatcher`] is the async layer above the engine: [`Submitter`]
+//!   handles feed requests continuously through a channel, rounds close
+//!   adaptively under a latency budget ([`DispatchOptions::max_wait`] /
+//!   [`DispatchOptions::max_batch`]), each request is routed to one of N
+//!   engine shards by its [`DagKey`] (warm-cache affinity) with work
+//!   stealing when a shard backs up, and results come back through
+//!   per-request [`Ticket`] completion handles. Shutdown is deterministic
+//!   and loss-free.
 //! - [`plan_rounds`] packs the heterogeneous requests into rounds over
 //!   the modelled DPU-v2 (L) cores exactly the way
 //!   [`BatchResult`](dpu_sim::BatchResult) models batch wall-clock:
@@ -64,10 +72,14 @@ use dpu_dag::Dag;
 use serde::{Deserialize, Serialize};
 
 pub mod cache;
+pub mod dispatch;
+pub mod ingest;
 pub mod planner;
 pub mod pool;
 
 pub use cache::{CacheKey, CacheStats, ProgramCache};
+pub use dispatch::{home_shard, DispatchOptions, DispatchReport, Dispatcher, ShardReport};
+pub use ingest::{SubmitError, Submitter, Ticket};
 pub use planner::{plan_rounds, BatchPlan, RoundPlan};
 pub use pool::{Engine, EngineOptions, Request, ServeError, ServingReport};
 

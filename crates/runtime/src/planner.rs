@@ -119,6 +119,29 @@ mod tests {
     }
 
     #[test]
+    fn single_request_is_one_round_of_its_own_cost() {
+        let p = plan_rounds(&[42], 8);
+        assert_eq!(p.rounds.len(), 1);
+        assert_eq!(p.rounds[0].requests, vec![0]);
+        assert_eq!(p.total_cycles, 42);
+    }
+
+    #[test]
+    fn more_cores_than_requests_is_one_round() {
+        let p = plan_rounds(&[5, 9, 7], 16);
+        assert_eq!(p.rounds.len(), 1);
+        assert_eq!(p.total_cycles, 9);
+        assert!((p.core_utilization(&[5, 9, 7]) - 21.0 / (16.0 * 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cost_requests_are_packed_but_free() {
+        let p = plan_rounds(&[0, 0, 10], 2);
+        assert_eq!(p.rounds.len(), 2);
+        assert_eq!(p.total_cycles, 10);
+    }
+
+    #[test]
     fn utilization_is_one_for_perfect_packing() {
         let p = plan_rounds(&[50; 8], 4);
         assert!((p.core_utilization(&[50; 8]) - 1.0).abs() < 1e-12);

@@ -324,6 +324,24 @@ impl Engine {
         Ok(self.finish_report(results, 1, started))
     }
 
+    /// Executes one request on a caller-owned machine through this
+    /// engine's registry and program cache — the per-shard hot path of the
+    /// [`Dispatcher`](crate::Dispatcher). The machine is reset (not
+    /// reallocated) per call; the result is byte-identical to serving the
+    /// request any other way.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeError`]; a [`ServeError::Sim`] carries request index 0
+    /// (there is no stream here).
+    pub fn execute(
+        &self,
+        machine: &mut Machine,
+        request: &Request,
+    ) -> Result<RunResult, ServeError> {
+        self.execute_one(machine, 0, request)
+    }
+
     fn execute_one(
         &self,
         machine: &mut Machine,

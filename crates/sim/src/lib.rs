@@ -223,6 +223,29 @@ pub struct Machine {
     pending: HashMap<u64, Vec<(u32, f32)>>,
     cycle: u64,
     activity: Activity,
+    /// Reusable per-machine scratch for [`Machine::step`]'s hot path, so
+    /// steady-state execution allocates nothing per `exec`/`load`. Each
+    /// buffer is cleared and resized at its point of use (cheap once
+    /// capacity is warm); none carries state across instructions, so
+    /// [`Machine::reset`] does not need to touch them.
+    scratch: Scratch,
+}
+
+/// Per-machine scratch buffers (see the field doc on [`Machine`]).
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Crossbar port values of the current `exec` (one per port).
+    ports: Vec<Option<f32>>,
+    /// Registers already fetched this `exec`, for broadcast dedup —
+    /// replaces the per-`exec` `HashMap` the hot path used to allocate;
+    /// a linear scan over ≤ `ports` entries beats hashing at this size.
+    fetched: Vec<(u32, u32, f32)>,
+    /// Per-layer PE outputs of the current `exec`.
+    layers: Vec<Vec<Option<f32>>>,
+    /// Staging copy of a data row during `load` (the row must be copied
+    /// out before writes because the priority-encoder write borrows the
+    /// register file mutably).
+    row: Vec<f32>,
 }
 
 impl Machine {
@@ -237,6 +260,7 @@ impl Machine {
             pending: HashMap::new(),
             cycle: 0,
             activity: Activity::default(),
+            scratch: Scratch::default(),
         }
     }
 
@@ -382,13 +406,16 @@ impl Machine {
                     return Err(SimError::RowOutOfRange { row: *row });
                 }
                 self.activity.mem_reads += 1;
-                let row_vals = self.data[*row as usize].clone();
+                let mut row_vals = std::mem::take(&mut self.scratch.row);
+                row_vals.clear();
+                row_vals.extend_from_slice(&self.data[*row as usize]);
                 for (bank, &m) in mask.iter().enumerate() {
                     if m {
                         self.auto_write(bank as u32, row_vals[bank])?;
                         immediate_writes.push(bank as u32);
                     }
                 }
+                self.scratch.row = row_vals;
             }
             Instr::Store { row, reads } => {
                 if *row >= cfg.data_mem_rows {
@@ -441,18 +468,28 @@ impl Machine {
             }
             Instr::Exec(e) => {
                 self.activity.execs += 1;
+                // The scratch buffers are taken out of `self` for the
+                // duration of the arm (the register file is borrowed
+                // mutably in between) and put back at the end. Early error
+                // returns leave them empty — harmless, because every use
+                // site clears and resizes first, and a failed step aborts
+                // the run anyway.
+                //
                 // 1. Operand fetch through the input crossbar. Broadcast
                 // reads (same bank+addr on several ports) count once.
-                let mut port_vals: Vec<Option<f32>> = vec![None; cfg.banks as usize];
-                let mut fetched: HashMap<(u32, u32), f32> = HashMap::new();
+                let mut port_vals = std::mem::take(&mut self.scratch.ports);
+                port_vals.clear();
+                port_vals.resize(cfg.banks as usize, None);
+                let mut fetched = std::mem::take(&mut self.scratch.fetched);
+                fetched.clear();
                 for (port, r) in e.reads.iter().enumerate() {
                     let Some(r) = r else { continue };
-                    let v = match fetched.get(&(r.bank, r.addr)) {
-                        Some(&v) => v,
+                    let v = match fetched.iter().find(|f| (f.0, f.1) == (r.bank, r.addr)) {
+                        Some(&(_, _, v)) => v,
                         None => {
                             let v = self.read_reg(r.bank, r.addr)?;
                             self.activity.reg_reads += 1;
-                            fetched.insert((r.bank, r.addr), v);
+                            fetched.push((r.bank, r.addr, v));
                             v
                         }
                     };
@@ -466,9 +503,13 @@ impl Machine {
                     }
                 }
                 // 2. Evaluate the trees layer by layer.
-                let mut layer_out: Vec<Vec<Option<f32>>> = Vec::with_capacity(cfg.depth as usize);
+                let mut layer_out = std::mem::take(&mut self.scratch.layers);
+                layer_out.resize_with(cfg.depth as usize, Vec::new);
                 for l in 1..=cfg.depth {
-                    let mut outs = vec![None; (cfg.trees() * cfg.pes_in_layer(l)) as usize];
+                    let (prev_layers, rest) = layer_out.split_at_mut((l - 1) as usize);
+                    let outs = &mut rest[0];
+                    outs.clear();
+                    outs.resize((cfg.trees() * cfg.pes_in_layer(l)) as usize, None);
                     for t in 0..cfg.trees() {
                         for i in 0..cfg.pes_in_layer(l) {
                             let pe = dpu_isa::PeId::new(t, l, i);
@@ -480,7 +521,7 @@ impl Machine {
                                 let base = (t * cfg.ports_per_tree() + 2 * i) as usize;
                                 (port_vals[base], port_vals[base + 1])
                             } else {
-                                let prev = &layer_out[(l - 2) as usize];
+                                let prev = &prev_layers[(l - 2) as usize];
                                 let base = (t * cfg.pes_in_layer(l - 1) + 2 * i) as usize;
                                 (prev[base], prev[base + 1])
                             };
@@ -495,7 +536,6 @@ impl Machine {
                             outs[(t * cfg.pes_in_layer(l) + i) as usize] = Some(out);
                         }
                     }
-                    layer_out.push(outs);
                 }
                 // 3. Schedule writebacks for cycle + D.
                 let land_at = self.cycle + u64::from(cfg.depth);
@@ -509,6 +549,9 @@ impl Machine {
                         .or_default()
                         .push((bank as u32, v));
                 }
+                self.scratch.ports = port_vals;
+                self.scratch.fetched = fetched;
+                self.scratch.layers = layer_out;
             }
         }
         self.land_pending(&immediate_writes)?;

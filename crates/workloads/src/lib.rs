@@ -32,5 +32,7 @@ pub mod pc;
 pub mod sparse;
 pub mod sptrsv;
 pub mod suite;
+pub mod traffic;
 
 pub use suite::{BenchmarkSpec, WorkloadClass};
+pub use traffic::{open_loop_schedule, Arrival, ArrivalPattern, TrafficParams};

@@ -1,0 +1,250 @@
+//! Open-loop traffic generation for serving experiments.
+//!
+//! A serving system's behavior depends on *how* requests arrive, not just
+//! on what they compute: batch-mode benchmarks hand the engine a
+//! pre-collected slice, while production traffic trickles, bursts, and
+//! skews. This module generates deterministic **open-loop** arrival
+//! schedules — request timestamps drawn independently of the server's
+//! progress (the client does not wait for responses) — that the serving
+//! benchmarks replay against the async dispatcher.
+//!
+//! A schedule is workload-agnostic: each [`Arrival`] names a *family
+//! index* (which registered DAG to invoke) and a sequence number (for
+//! input variation); the benchmark maps those to concrete requests. This
+//! keeps `dpu-workloads` free of a dependency on the runtime crate.
+//!
+//! Everything is seeded: the same [`TrafficParams`] always produce the
+//! same schedule, on every platform.
+
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Inter-arrival distribution of an open-loop stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// Evenly spaced arrivals: one request every `1/rate` seconds.
+    Uniform,
+    /// Poisson process: exponential inter-arrival times with mean
+    /// `1/rate` — the standard model of independent open-loop clients.
+    Poisson,
+    /// On/off bursts: `burst` back-to-back arrivals (no gap), then one
+    /// idle period carrying the whole burst's time budget
+    /// (`burst / rate`), so the long-run rate still matches
+    /// [`TrafficParams::rate_per_sec`].
+    Bursty {
+        /// Requests per burst.
+        burst: usize,
+    },
+}
+
+/// Parameters of an open-loop traffic stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficParams {
+    /// Total requests in the schedule.
+    pub requests: usize,
+    /// Long-run arrival rate in requests per second.
+    pub rate_per_sec: f64,
+    /// Inter-arrival distribution.
+    pub pattern: ArrivalPattern,
+    /// Number of workload families the stream mixes over.
+    pub families: usize,
+    /// Popularity skew across families: `0.0` draws families uniformly;
+    /// larger values concentrate traffic on low-indexed families with
+    /// Zipf-like weights `(f+1)^-skew`. Skewed streams are how the
+    /// dispatcher's work-stealing path gets exercised.
+    pub skew: f64,
+    /// RNG seed; the schedule is a pure function of the params.
+    pub seed: u64,
+}
+
+impl Default for TrafficParams {
+    fn default() -> Self {
+        TrafficParams {
+            requests: 500,
+            rate_per_sec: 2_000.0,
+            pattern: ArrivalPattern::Poisson,
+            families: 3,
+            skew: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+/// One scheduled request arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival time as an offset from the stream start.
+    pub at: Duration,
+    /// Which workload family (index into the benchmark's registered
+    /// DAGs).
+    pub family: usize,
+    /// Stream-wide sequence number, for per-request input variation.
+    pub seq: usize,
+}
+
+/// Generates the arrival schedule for `params`: `requests` arrivals with
+/// non-decreasing timestamps.
+///
+/// # Panics
+///
+/// Panics if `families == 0` or `rate_per_sec` is not strictly positive.
+pub fn open_loop_schedule(params: &TrafficParams) -> Vec<Arrival> {
+    assert!(params.families > 0, "need at least one family");
+    assert!(params.rate_per_sec > 0.0, "rate must be strictly positive");
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let weights = family_weights(params.families, params.skew);
+    let mean_gap = 1.0 / params.rate_per_sec;
+
+    let mut at = 0.0f64;
+    (0..params.requests)
+        .map(|seq| {
+            let arrival = Arrival {
+                at: Duration::from_secs_f64(at),
+                family: pick_family(&weights, &mut rng),
+                seq,
+            };
+            at += match params.pattern {
+                ArrivalPattern::Uniform => mean_gap,
+                ArrivalPattern::Poisson => {
+                    // Inverse-CDF exponential sample; 1-u keeps ln's
+                    // argument in (0, 1].
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    -(1.0 - u).ln() * mean_gap
+                }
+                ArrivalPattern::Bursty { burst } => {
+                    let burst = burst.max(1);
+                    if (seq + 1) % burst == 0 {
+                        // One idle gap carries the whole burst's budget.
+                        mean_gap * burst as f64
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            arrival
+        })
+        .collect()
+}
+
+/// Zipf-like family weights `(f+1)^-skew`, normalized.
+fn family_weights(families: usize, skew: f64) -> Vec<f64> {
+    let raw: Vec<f64> = (0..families)
+        .map(|f| ((f + 1) as f64).powf(-skew))
+        .collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+fn pick_family(weights: &[f64], rng: &mut SmallRng) -> usize {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let mut acc = 0.0;
+    for (f, w) in weights.iter().enumerate() {
+        acc += w;
+        if u < acc {
+            return f;
+        }
+    }
+    weights.len() - 1 // floating-point slack on the last bucket
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(schedule: &[Arrival], families: usize) -> Vec<usize> {
+        let mut c = vec![0usize; families];
+        for a in schedule {
+            c[a.family] += 1;
+        }
+        c
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_ordered() {
+        let p = TrafficParams::default();
+        let a = open_loop_schedule(&p);
+        let b = open_loop_schedule(&p);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), p.requests);
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(a.iter().enumerate().all(|(i, x)| x.seq == i));
+    }
+
+    #[test]
+    fn different_seed_different_mix() {
+        let a = open_loop_schedule(&TrafficParams::default());
+        let b = open_loop_schedule(&TrafficParams {
+            seed: 43,
+            ..TrafficParams::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_spacing_matches_rate() {
+        let p = TrafficParams {
+            requests: 100,
+            rate_per_sec: 1_000.0,
+            pattern: ArrivalPattern::Uniform,
+            ..TrafficParams::default()
+        };
+        let s = open_loop_schedule(&p);
+        // 100 arrivals at 1k/s: the last arrives at 99 ms.
+        assert!((s.last().unwrap().at.as_secs_f64() - 0.099).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_close() {
+        let p = TrafficParams {
+            requests: 4_000,
+            rate_per_sec: 2_000.0,
+            pattern: ArrivalPattern::Poisson,
+            ..TrafficParams::default()
+        };
+        let s = open_loop_schedule(&p);
+        let span = s.last().unwrap().at.as_secs_f64();
+        let empirical = (p.requests - 1) as f64 / span;
+        assert!(
+            (empirical - p.rate_per_sec).abs() / p.rate_per_sec < 0.1,
+            "empirical rate {empirical:.0}/s too far from 2000/s"
+        );
+    }
+
+    #[test]
+    fn bursts_are_back_to_back_with_gaps_between() {
+        let p = TrafficParams {
+            requests: 40,
+            rate_per_sec: 1_000.0,
+            pattern: ArrivalPattern::Bursty { burst: 8 },
+            ..TrafficParams::default()
+        };
+        let s = open_loop_schedule(&p);
+        // Within a burst, timestamps are identical; across bursts they
+        // jump by burst/rate.
+        assert_eq!(s[0].at, s[7].at);
+        assert!(s[8].at > s[7].at);
+        let gap = (s[8].at - s[7].at).as_secs_f64();
+        assert!((gap - 0.008).abs() < 1e-9);
+        // Long-run rate is preserved: 40 requests spanning 5 gaps.
+        let span = s.last().unwrap().at.as_secs_f64() + 0.0;
+        assert!((span - 4.0 * 0.008).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_skew_is_roughly_uniform_and_high_skew_concentrates() {
+        let base = TrafficParams {
+            requests: 3_000,
+            families: 4,
+            ..TrafficParams::default()
+        };
+        let flat = counts(&open_loop_schedule(&base), 4);
+        assert!(flat.iter().all(|&c| c > 500), "uniform mix {flat:?}");
+        let skewed = counts(&open_loop_schedule(&TrafficParams { skew: 3.0, ..base }), 4);
+        assert!(
+            skewed[0] > 2_000,
+            "skew 3.0 should concentrate on family 0: {skewed:?}"
+        );
+    }
+}

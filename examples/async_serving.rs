@@ -1,0 +1,139 @@
+//! Async sharded serving demo: continuous request ingestion through a
+//! [`Submitter`], adaptive round closing under a latency budget, routing
+//! across engine shards by DAG fingerprint, and per-request completion
+//! handles ([`Ticket`]).
+//!
+//! The request stream is an **open-loop** Poisson arrival schedule from
+//! `dpu-workloads`' traffic generator — the submitting thread paces
+//! itself by the schedule, not by server progress, like independent
+//! clients would.
+//!
+//! Run with `cargo run --release --example async_serving`.
+
+use std::time::{Duration, Instant};
+
+use dpu_core::energy;
+use dpu_core::prelude::*;
+use dpu_core::workloads::pc::{generate_pc, pc_inputs, PcParams};
+use dpu_core::workloads::sparse::{generate_lower_triangular, LowerTriangularParams, SpmvDag};
+use dpu_core::workloads::sptrsv::SptrsvDag;
+use dpu_core::workloads::traffic::{open_loop_schedule, ArrivalPattern, TrafficParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A dispatcher of two DPU-v2 (L) replica shards. Rounds close at
+    // 24 requests or 500 µs, whichever comes first.
+    let dpu = Dpu::large();
+    let dispatcher = dpu.dispatcher(DispatchOptions {
+        shards: 2,
+        max_batch: 24,
+        max_wait: Duration::from_micros(500),
+        ..Default::default()
+    });
+
+    // 2. Three workload families, registered on every shard.
+    let pc = generate_pc(&PcParams::with_targets(2_000, 14), 31);
+    let l = generate_lower_triangular(&LowerTriangularParams::for_target_path(100, 2.0, 18), 32);
+    let trsv = SptrsvDag::build(&l);
+    let a = generate_lower_triangular(
+        &LowerTriangularParams {
+            dim: 120,
+            avg_nnz_per_row: 4.0,
+            band_fraction: 0.7,
+            band: 10,
+        },
+        33,
+    );
+    let spmv = SpmvDag::build(&a);
+    let keys = [
+        dispatcher.register(pc.clone()),
+        dispatcher.register(trsv.dag.clone()),
+        dispatcher.register(spmv.dag.clone()),
+    ];
+    let inputs_for = |family: usize, seq: usize| -> Vec<f32> {
+        match family {
+            0 => pc_inputs(&pc, seq as u64),
+            1 => {
+                let b: Vec<f32> = (0..l.dim)
+                    .map(|j| 1.0 + 0.5 * (((seq + j) as f32) * 0.37).sin())
+                    .collect();
+                trsv.inputs(&l, &b)
+            }
+            _ => {
+                let x: Vec<f32> = (0..a.dim)
+                    .map(|j| 0.5 + 0.3 * (((2 * seq + j) as f32) * 0.23).cos())
+                    .collect();
+                spmv.inputs(&a, &x)
+            }
+        }
+    };
+
+    // 3. An open-loop Poisson schedule: 600 requests at ~3k req/s.
+    let schedule = open_loop_schedule(&TrafficParams {
+        requests: 600,
+        rate_per_sec: 3_000.0,
+        pattern: ArrivalPattern::Poisson,
+        families: keys.len(),
+        skew: 0.5,
+        seed: 77,
+    });
+
+    // 4. Replay it: submit each request at its scheduled time, holding
+    // the ticket; results are collected after the stream ends.
+    let submitter = dispatcher.submitter();
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(schedule.len());
+    for arrival in &schedule {
+        if let Some(wait) = arrival.at.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let request = Request::new(
+            keys[arrival.family],
+            inputs_for(arrival.family, arrival.seq),
+        );
+        tickets.push(submitter.submit(request)?);
+    }
+
+    // 5. Drain: every accepted request completes; then settle the bill.
+    dispatcher.drain();
+    let done = tickets.iter().filter(|t| t.is_done()).count();
+    let mut total_cycles = 0u64;
+    for t in tickets {
+        total_cycles += t.wait()?.cycles;
+    }
+    let report = dispatcher.shutdown();
+
+    let freq = energy::calib::FREQ_HZ;
+    println!("== async serving report ==");
+    println!(
+        "submitted / served    : {} / {}",
+        report.submitted, report.served
+    );
+    println!("ready after drain     : {done}");
+    println!(
+        "rounds closed         : {} full, {} timer, {} flush",
+        report.rounds_closed_full, report.rounds_closed_timer, report.rounds_closed_flush
+    );
+    for (i, s) in report.shards.iter().enumerate() {
+        println!(
+            "shard {i}               : {} reqs, {} rounds ({} stolen), cache {}/{} hits, {} compiles",
+            s.requests, s.rounds, s.stolen_rounds, s.cache.hits,
+            s.cache.hits + s.cache.misses, s.cache.misses
+        );
+    }
+    println!(
+        "shard balance         : {:.2}x fair share",
+        report.shard_balance()
+    );
+    println!("total request cycles  : {total_cycles}");
+    println!(
+        "simulated throughput  : {:.2} GOPS @ {:.0} MHz (modelled makespan {} cycles)",
+        report.gops(freq),
+        freq / 1e6,
+        report.modelled_cycles()
+    );
+    println!(
+        "host wall-clock       : {:.1} ms",
+        report.host_seconds * 1e3
+    );
+    Ok(())
+}

@@ -1,10 +1,15 @@
 //! Offline stub of `crossbeam` (see `vendor/README.md`).
 //!
-//! The workspace only uses `crossbeam::thread::scope` / `Scope::spawn` /
-//! `ScopedJoinHandle::join`, which std has provided natively since Rust
-//! 1.63 — this stub adapts the crossbeam signatures (spawn closures take a
-//! `&Scope` argument, `scope` returns a `Result`) onto
-//! [`std::thread::scope`].
+//! The workspace uses two slices of crossbeam:
+//!
+//! - `crossbeam::thread::scope` / `Scope::spawn` / `ScopedJoinHandle::join`,
+//!   which std has provided natively since Rust 1.63 — this stub adapts
+//!   the crossbeam signatures (spawn closures take a `&Scope` argument,
+//!   `scope` returns a `Result`) onto [`std::thread::scope`];
+//! - [`channel`]: MPMC FIFO channels with crossbeam's disconnect
+//!   semantics, implemented on `Mutex<VecDeque>` + condvars.
+
+pub mod channel;
 
 /// Scoped threads with the `crossbeam::thread` API shape.
 pub mod thread {

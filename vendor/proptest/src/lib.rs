@@ -197,7 +197,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Inclusive length bounds for [`vec`], converted from ranges so the
+    /// Inclusive length bounds for [`vec()`], converted from ranges so the
     /// call sites can pass `1..160`-style literals as in real proptest.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -229,7 +229,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: SizeRange,
