@@ -18,9 +18,12 @@
 
 pub mod cpu;
 pub mod dpu_v1;
+pub mod exec;
 pub mod gpu;
 pub mod spatial;
 pub mod spu;
+
+pub use exec::{BaselineModel, BaselineRun};
 
 use serde::{Deserialize, Serialize};
 

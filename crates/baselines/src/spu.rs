@@ -34,6 +34,13 @@ impl Default for SpuModel {
 }
 
 impl SpuModel {
+    /// Predicted execution time for one evaluation of `dag`, in seconds —
+    /// the CPU baseline's time divided by the published speedup, exactly
+    /// mirroring how the paper derives SPU throughput.
+    pub fn exec_time_s(&self, dag: &Dag) -> f64 {
+        self.cpu.exec_time_s(dag) / self.speedup_over_cpu
+    }
+
     /// Throughput/power estimate for one workload.
     pub fn evaluate(&self, dag: &Dag) -> PlatformResult {
         let cpu = self.cpu.evaluate(dag);

@@ -1,7 +1,7 @@
 //! Async sharded serving benchmark — the continuous-ingestion counterpart
 //! of `serving_throughput`, and the source of CI's `BENCH_serving.json`.
 //!
-//! Three phases over the same 600-request, 3-family mixed stream:
+//! Four phases over the same 600-request, 3-family mixed stream:
 //!
 //! 1. **Gated phase** (deterministic): a 4-shard dispatcher with work
 //!    stealing off and an effectively infinite latency budget serves the
@@ -9,20 +9,30 @@
 //!    behavior and the modelled clock are then pure functions of the
 //!    stream, so `simulated_gops`, `cache_hit_rate` and `shard_balance`
 //!    are bit-stable across machines. Of these, `bench_gate` compares
-//!    `simulated_gops` and `cache_hit_rate` against
+//!    `simulated_gops` and the cache miss rate against
 //!    `bench/baseline.json`; the rest are recorded for trajectory.
-//! 2. **Open-loop phase** (observability): a 2-shard dispatcher with
+//! 2. **Multi-backend comparison** (deterministic, gated): a 2-primary
+//!    DPU-v2 dispatcher mirrored by one analytic baseline shard per
+//!    `--baseline <platform>` flag (default `cpu,gpu`; also `dpu_v1`,
+//!    `spu`) serves the stream once more. Tickets stay on the DPU shards
+//!    (verified byte-identical to serial); the mirrors shadow every
+//!    request, and the report's `baseline_compare` section carries live
+//!    per-platform throughput/GOPS/EDP — the paper's §V-C comparison at
+//!    serving time. Throughputs are pure functions of the stream and the
+//!    platform models, so `bench_gate` ratchets them.
+//! 3. **Open-loop phase** (observability): a 2-shard dispatcher with
 //!    stealing on replays the same requests on a Poisson arrival
 //!    schedule, reporting host-side latency/throughput and steal/close
 //!    statistics. Timing-dependent, therefore not gated.
-//! 3. **Machine-scratch microbench**: the same compiled program run with
+//! 4. **Machine-scratch microbench**: the same compiled program run with
 //!    a fresh `Machine` per request (the old allocating hot path) vs one
 //!    reused machine (`Machine::reset` + per-machine scratch buffers) —
 //!    the before/after of the simulator hot-path optimization.
 //!
-//! Every phase's outputs are verified byte-identical against a serial
-//! reference pass. Run with
-//! `cargo run --release -p dpu-bench --bin async_serving -- [--json <path>]`.
+//! Every serving phase's outputs are verified byte-identical against a
+//! serial reference pass. Run with
+//! `cargo run --release -p dpu-bench --bin async_serving --
+//! [--json <path>] [--baseline <cpu|gpu|dpu_v1|spu>]...`.
 
 use std::time::{Duration, Instant};
 
@@ -103,6 +113,34 @@ fn assert_identical(got: &RunResult, want: &RunResult, ctx: &str) {
     assert_eq!(got.cycles, want.cycles, "{ctx}: cycles differ");
 }
 
+/// Extracts every `--baseline <p>` / `--baseline=<p>` flag (values may be
+/// comma-separated). Defaults to `cpu,gpu` so `BENCH_serving.json` always
+/// carries the comparison section CI gates.
+fn baseline_flags() -> Vec<BaselineModel> {
+    let mut names: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = if arg == "--baseline" {
+            Some(args.next().expect("usage: --baseline <platform>"))
+        } else {
+            arg.strip_prefix("--baseline=").map(str::to_string)
+        };
+        if let Some(v) = value {
+            names.extend(v.split(',').map(|s| s.trim().to_string()));
+        }
+    }
+    if names.is_empty() {
+        names = vec!["cpu".into(), "gpu".into()];
+    }
+    names
+        .iter()
+        .map(|n| {
+            BaselineModel::by_name(n)
+                .unwrap_or_else(|| panic!("unknown baseline `{n}` (cpu|gpu|dpu_v1|spu)"))
+        })
+        .collect()
+}
+
 #[allow(clippy::too_many_lines)]
 fn main() {
     let json_path = json_path_flag();
@@ -159,7 +197,100 @@ fn main() {
     assert_eq!(gated_report.served, REQUESTS as u64, "loss-free drain");
     let gated_cache = gated_report.cache_totals();
 
-    // Phase 2: open-loop replay with stealing on, paced by the schedule.
+    // Phase 2: multi-backend comparison. Two DPU-v2 primaries serve the
+    // stream (tickets, verified below) while one mirror shard per
+    // requested baseline platform shadows every request — live per-
+    // platform throughput from one dispatcher run. Stealing off and an
+    // infinite latency budget keep per-shard round composition, and
+    // therefore every platform's modelled makespan, a pure function of
+    // the stream.
+    let baselines = baseline_flags();
+    let mirror = dpu.mirrored_dispatcher(
+        DispatchOptions {
+            shards: 2,
+            max_batch: 32,
+            max_wait: Duration::from_secs(3600),
+            work_stealing: false,
+            ..Default::default()
+        },
+        &baselines,
+    );
+    let keys: Vec<DagKey> = fams
+        .iter()
+        .map(|f| mirror.register(f.dag.clone()))
+        .collect();
+    let submitter = mirror.submitter();
+    let mirror_tickets: Vec<Ticket> = (0..REQUESTS)
+        .map(|i| submitter.submit(build_request(&keys, i)).expect("accepted"))
+        .collect();
+    mirror.drain();
+    for (i, t) in mirror_tickets.into_iter().enumerate() {
+        let got = t.wait().expect("request succeeds");
+        assert_identical(
+            &got,
+            &reference.results[i],
+            &format!("mirrored request {i}"),
+        );
+    }
+    let mirror_report = mirror.shutdown();
+    assert_eq!(mirror_report.served, REQUESTS as u64, "loss-free drain");
+    assert_eq!(
+        mirror_report.mirrored,
+        (REQUESTS * baselines.len()) as u64,
+        "every baseline shadowed every request"
+    );
+    // The DPU has no flat power figure; derive its average from the
+    // activity-based energy model over the (deterministic) reference
+    // results, so the dpu_v2 row carries an EDP too.
+    let dpu_power_w = {
+        let total_pj: f64 = reference
+            .results
+            .iter()
+            .map(|r| energy::energy_pj(&dpu.config, &r.activity, r.cycles))
+            .sum();
+        let total_s: f64 = reference.results.iter().map(|r| r.cycles).sum::<u64>() as f64 / freq;
+        total_pj * 1e-12 / total_s.max(1e-30)
+    };
+    let baseline_compare = {
+        let mut platforms = Json::obj();
+        for mut p in mirror_report.platforms() {
+            if p.platform == "dpu_v2" && p.power_w.is_none() {
+                // Overlay the energy-model average as the per-device
+                // power, so the DPU row carries an EDP too.
+                p.power_w = Some(dpu_power_w);
+            }
+            let power_w = p.power_w;
+            let gops = p.gops(freq);
+            let edp = p.edp_pj_ns(freq);
+            let mut row = Json::obj()
+                .field("mirror", p.mirror)
+                .field("shards", p.shards)
+                .field("requests", p.requests)
+                .field("dag_ops", p.dag_ops)
+                .field("modelled_cycles", p.modelled_cycles)
+                .field("throughput_gops", gops);
+            row = match power_w {
+                Some(w) => row.field("power_w", w),
+                None => row.field("power_w", Json::Null),
+            };
+            row = match edp {
+                Some(e) => row.field("edp_pj_ns", e),
+                None => row.field("edp_pj_ns", Json::Null),
+            };
+            platforms = platforms.field(p.platform, row);
+        }
+        Json::obj()
+            .field("requests", REQUESTS)
+            .field(
+                "primary_shards",
+                mirror_report.shards.iter().filter(|s| !s.mirror).count(),
+            )
+            .field("mirrored", mirror_report.mirrored)
+            .field("verified", true)
+            .field("platforms", platforms)
+    };
+
+    // Phase 3: open-loop replay with stealing on, paced by the schedule.
     let open = dpu.dispatcher(DispatchOptions {
         shards: 2,
         max_batch: 24,
@@ -190,7 +321,7 @@ fn main() {
     let open_report = open.shutdown();
     assert_eq!(open_report.served, REQUESTS as u64, "loss-free drain");
 
-    // Phase 3: machine-scratch before/after. Same program, same inputs:
+    // Phase 4: machine-scratch before/after. Same program, same inputs:
     // a fresh Machine per request (per-request allocation, the pre-scratch
     // hot path) vs one reused machine (reset + scratch buffers).
     let compiled = dpu.compile(&fams[0].dag).expect("compiles");
@@ -242,6 +373,8 @@ fn main() {
         .field("compiles", gated_cache.misses)
         .field("shard_balance", gated_report.shard_balance())
         .field("verified", true)
+        // Live multi-backend comparison (machine-independent, gated).
+        .field("baseline_compare", baseline_compare)
         // Host-side observability (machine-dependent, not gated).
         .field("host_seconds", gated_host_seconds)
         .field("host_rps", REQUESTS as f64 / gated_host_seconds.max(1e-9))

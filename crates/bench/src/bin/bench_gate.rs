@@ -1,20 +1,33 @@
 //! CI bench-regression gate: compares a freshly produced
 //! `BENCH_serving.json` against the committed `bench/baseline.json` and
-//! exits non-zero on a throughput regression beyond the tolerance.
+//! exits non-zero on a regression beyond the tolerance.
 //!
 //! Only **machine-independent** fields are gated — the `async_serving`
 //! benchmark's gated phase is deterministic (fixed schedule, fixed
-//! routing, no stealing, no timer closes), so `simulated_gops` is
-//! bit-stable on every machine and a >10% drop can only mean a real
-//! change in compiler output, simulator timing, or dispatch packing.
-//! Host wall-clock fields vary by machine and are deliberately ignored.
+//! routing, no stealing, no timer closes), so `simulated_gops`, the
+//! cache miss rate, and the multi-backend `baseline_compare` section are
+//! bit-stable on every machine; a drop can only mean a real change in
+//! compiler output, simulator timing, dispatch packing, or the analytic
+//! platform models. Host wall-clock fields vary by machine and are
+//! deliberately ignored.
+//!
+//! Gating rules:
+//!
+//! - `simulated_gops` and each `baseline_compare` platform's
+//!   `throughput_gops`: fail on a relative drop beyond the tolerance; a
+//!   non-zero baseline collapsing to zero always fails.
+//! - Cache health is gated on the **miss rate** (`1 − cache_hit_rate`),
+//!   not the hit rate: hit rates sit so close to 1.0 that a relative
+//!   tolerance on them is meaningless — 0.995 → 0.90 is a 20× miss
+//!   increase yet under a 10% hit-rate change. A perfect baseline
+//!   (zero misses) fails on *any* current miss.
 //!
 //! Usage:
 //! `cargo run --release -p dpu-bench --bin bench_gate -- \
 //!    [--current BENCH_serving.json] [--baseline bench/baseline.json] \
 //!    [--tolerance-pct 10]`
 //!
-//! When throughput *improves* past the tolerance the gate passes but
+//! When a gated metric *improves* past the tolerance the gate passes but
 //! prints a reminder to refresh the baseline, so the ratchet moves up.
 
 use std::process::ExitCode;
@@ -57,6 +70,68 @@ fn num(doc: &Json, key: &str, path: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{path}: missing numeric field `{key}`"))
 }
 
+/// One higher-is-better ratchet check. Returns `true` on failure.
+fn gate_higher_better(key: &str, current: f64, baseline: f64, tol: f64) -> bool {
+    let (failed, verdict): (bool, String) = if baseline == 0.0 {
+        // Nothing to regress from; a non-zero current is a new capability.
+        if current > 0.0 {
+            (
+                false,
+                "pass (new signal — consider refreshing bench/baseline.json)".into(),
+            )
+        } else {
+            (false, "pass (both zero)".into())
+        }
+    } else if current == 0.0 {
+        // A non-zero → zero collapse is always a failure, regardless of
+        // tolerance: the metric didn't regress, it vanished.
+        (true, "FAIL (collapsed to zero)".into())
+    } else {
+        let change = (current - baseline) / baseline;
+        let v: &str = if change < -tol {
+            "FAIL"
+        } else if change > tol {
+            "pass (improved — consider refreshing bench/baseline.json)"
+        } else {
+            "pass"
+        };
+        (v == "FAIL", format!("({:+.1}%) … {v}", change * 100.0))
+    };
+    println!("bench-gate: {key}: current {current:.4} vs baseline {baseline:.4} {verdict}");
+    failed
+}
+
+/// The cache-health check, on miss rate (lower is better). Returns `true`
+/// on failure.
+fn gate_miss_rate(current_hit: f64, baseline_hit: f64, tol: f64) -> bool {
+    let (mc, mb) = (1.0 - current_hit, 1.0 - baseline_hit);
+    let (failed, verdict) = if mb <= 0.0 {
+        // The baseline cache was perfect; any miss is a collapse from
+        // perfect, not a tolerable drift (the relative form would have
+        // divided by zero and auto-passed).
+        if mc > 0.0 {
+            (true, "FAIL (perfect baseline now misses)".to_string())
+        } else {
+            (false, "pass (still perfect)".to_string())
+        }
+    } else {
+        let change = (mc - mb) / mb;
+        let v = if change > tol {
+            "FAIL"
+        } else if change < -tol {
+            "pass (improved — consider refreshing bench/baseline.json)"
+        } else {
+            "pass"
+        };
+        (v == "FAIL", format!("({:+.1}%) … {v}", change * 100.0))
+    };
+    println!(
+        "bench-gate: cache_miss_rate: current {mc:.4} vs baseline {mb:.4} \
+         (hit {current_hit:.4} vs {baseline_hit:.4}) {verdict}"
+    );
+    failed
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args();
     let current = load(&args.current)?;
@@ -81,28 +156,74 @@ fn run() -> Result<(), String> {
         }
     }
 
-    // The throughput ratchet. Higher is better for every gated metric.
     let mut failed = false;
-    for key in ["simulated_gops", "cache_hit_rate"] {
-        let c = num(&current, key, &args.current)?;
-        let b = num(&baseline, key, &args.baseline)?;
-        let change = if b != 0.0 { (c - b) / b } else { 0.0 };
-        let verdict = if change < -tol {
-            failed = true;
-            "FAIL"
-        } else if change > tol {
-            "pass (improved — consider refreshing bench/baseline.json)"
-        } else {
-            "pass"
+
+    // The throughput ratchet.
+    failed |= gate_higher_better(
+        "simulated_gops",
+        num(&current, "simulated_gops", &args.current)?,
+        num(&baseline, "simulated_gops", &args.baseline)?,
+        tol,
+    );
+
+    // Cache health, gated on miss rate (see module docs).
+    failed |= gate_miss_rate(
+        num(&current, "cache_hit_rate", &args.current)?,
+        num(&baseline, "cache_hit_rate", &args.baseline)?,
+        tol,
+    );
+
+    // Multi-backend comparison: every platform the baseline knows must
+    // still be reported, with its deterministic throughput intact.
+    if let Some(base_cmp) = baseline.get("baseline_compare") {
+        let platforms = base_cmp
+            .get("platforms")
+            .ok_or_else(|| format!("{}: baseline_compare.platforms missing", args.baseline))?;
+        let Json::Obj(entries) = platforms else {
+            return Err(format!(
+                "{}: baseline_compare.platforms is not an object",
+                args.baseline
+            ));
         };
-        println!(
-            "bench-gate: {key}: current {c:.4} vs baseline {b:.4} ({:+.1}%) … {verdict}",
-            change * 100.0
-        );
+        let cur_platforms = current
+            .get("baseline_compare")
+            .and_then(|c| c.get("platforms"))
+            .ok_or_else(|| {
+                format!(
+                    "{}: baseline_compare.platforms missing (baseline has it)",
+                    args.current
+                )
+            })?;
+        if current
+            .get("baseline_compare")
+            .and_then(|c| c.get("verified"))
+            .and_then(Json::as_bool)
+            != Some(true)
+        {
+            return Err(format!(
+                "{}: baseline_compare.verified is not true",
+                args.current
+            ));
+        }
+        for (name, bval) in entries {
+            let b = bval
+                .get("throughput_gops")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{}: {name}: missing throughput_gops", args.baseline))?;
+            let c = cur_platforms
+                .get(name)
+                .and_then(|v| v.get("throughput_gops"))
+                .and_then(Json::as_f64)
+                .ok_or_else(|| {
+                    format!("{}: baseline_compare lost platform `{name}`", args.current)
+                })?;
+            failed |= gate_higher_better(&format!("baseline_compare.{name}.gops"), c, b, tol);
+        }
     }
+
     if failed {
         return Err(format!(
-            "throughput regressed more than {:.0}% — investigate, or update \
+            "gated metric regressed more than {:.0}% — investigate, or update \
              bench/baseline.json if the regression is intended",
             args.tolerance_pct
         ));

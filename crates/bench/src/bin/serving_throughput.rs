@@ -118,7 +118,8 @@ fn main() {
     // Threaded serving pass.
     let engine = dpu.engine(opts);
     let stream = build_stream(&engine, &fams);
-    let report = engine.serve(&stream).expect("serving succeeds");
+    let report = engine.serve(&stream);
+    assert!(report.failures.is_empty(), "serving succeeds");
 
     // Serial reference pass on a fresh engine; aggregate outputs must be
     // byte-identical.

@@ -40,25 +40,31 @@ pub use dpu_runtime as runtime;
 pub use dpu_sim as sim;
 pub use dpu_workloads as workloads;
 
+use std::sync::Arc;
+
+use dpu_baselines::BaselineModel;
 use dpu_compiler::{compile, CompileError, CompileOptions, Compiled};
 use dpu_dag::Dag;
 use dpu_energy::Metrics;
 use dpu_isa::ArchConfig;
 use dpu_runtime::{
-    DispatchOptions, Dispatcher, Engine, EngineOptions, Request, ServeError, ServingReport,
+    Backend, BaselineBackend, DispatchOptions, Dispatcher, Engine, EngineOptions, Request,
+    ServingReport,
 };
 use dpu_sim::{RunResult, SimError, VerifyReport};
 
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
     pub use crate::Dpu;
+    pub use dpu_baselines::{BaselineModel, BaselineRun};
     pub use dpu_compiler::{CompileOptions, Compiled};
     pub use dpu_dag::{Dag, DagBuilder, NodeId, Op};
     pub use dpu_energy::Metrics;
     pub use dpu_isa::{ArchConfig, Topology};
     pub use dpu_runtime::{
-        DagKey, DispatchOptions, DispatchReport, Dispatcher, Engine, EngineOptions, Request,
-        ServingReport, Submitter, Ticket,
+        Backend, BaselineBackend, DagKey, DispatchOptions, DispatchReport, Dispatcher, Engine,
+        EngineOptions, PlatformSummary, Request, ServingReport, StealClass, SubmitAllError,
+        Submitter, Ticket,
     };
     pub use dpu_sim::{RunResult, VerifyReport};
 }
@@ -146,17 +152,55 @@ impl Dpu {
         Dispatcher::new(self.config, self.options.clone(), options)
     }
 
+    /// Builds an async sharded [`Dispatcher`] of `options.shards` DPU-v2
+    /// engine shards that is **shadowed** by one analytic baseline shard
+    /// per entry of `baselines` (CPU / GPU / DPU-v1 / SPU models from
+    /// `dpu-baselines`): every accepted request is served by a DPU shard
+    /// (tickets, byte-identical results) *and* replayed ticketlessly on
+    /// each baseline, so
+    /// [`DispatchReport::platforms`](dpu_runtime::DispatchReport::platforms)
+    /// reports live per-platform throughput/GOPS/EDP for the same
+    /// traffic — the paper's §V-C comparison at serving time. Baseline
+    /// model seconds are expressed in cycles of the DPU reference clock
+    /// ([`energy::calib::FREQ_HZ`](dpu_energy::calib)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.shards == 0`, `options.max_batch == 0` or
+    /// `options.cores == 0`.
+    pub fn mirrored_dispatcher(
+        &self,
+        options: DispatchOptions,
+        baselines: &[BaselineModel],
+    ) -> Dispatcher {
+        assert!(options.shards > 0, "at least one shard required");
+        let engine_opts = EngineOptions {
+            workers: 1,
+            cores: options.cores,
+            cache_capacity: options.cache_capacity,
+        };
+        let primaries: Vec<Arc<dyn Backend>> = (0..options.shards)
+            .map(|_| Arc::new(self.engine(engine_opts)) as Arc<dyn Backend>)
+            .collect();
+        let mirrors: Vec<Arc<dyn Backend>> = baselines
+            .iter()
+            .map(|&m| {
+                Arc::new(BaselineBackend::new(m, dpu_energy::calib::FREQ_HZ)) as Arc<dyn Backend>
+            })
+            .collect();
+        Dispatcher::with_backends(primaries, mirrors, options)
+    }
+
     /// One-call batch serving: registers `dags`, then serves `requests`
     /// given as `(dag index, inputs)` pairs. Outputs are byte-identical
-    /// to running each request serially through [`Dpu::execute`].
+    /// to running each request serially through [`Dpu::execute`];
+    /// failures are isolated per request in
+    /// [`ServingReport::failures`](dpu_runtime::ServingReport), never
+    /// fate-shared across the batch.
     ///
     /// For repeated batches over the same DAGs, build a persistent engine
     /// with [`Dpu::engine`] instead so compiled programs are reused
     /// across calls.
-    ///
-    /// # Errors
-    ///
-    /// See [`ServeError`].
     ///
     /// # Panics
     ///
@@ -166,7 +210,7 @@ impl Dpu {
         dags: Vec<Dag>,
         requests: &[(usize, Vec<f32>)],
         options: EngineOptions,
-    ) -> Result<ServingReport, ServeError> {
+    ) -> ServingReport {
         let engine = self.engine(options);
         let keys: Vec<_> = dags.into_iter().map(|d| engine.register(d)).collect();
         let stream: Vec<Request> = requests
@@ -233,6 +277,50 @@ mod tests {
     }
 
     #[test]
+    fn facade_mirrors_baselines() {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        b.node(Op::Add, &[x, y]).unwrap();
+        let dag = b.finish().unwrap();
+        let dpu = Dpu::new(ArchConfig::new(2, 8, 16).unwrap());
+        let dispatcher = dpu.mirrored_dispatcher(
+            DispatchOptions {
+                shards: 2,
+                max_batch: 4,
+                ..Default::default()
+            },
+            &[BaselineModel::cpu(), BaselineModel::gpu()],
+        );
+        let key = dispatcher.register(dag);
+        let submitter = dispatcher.submitter();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| {
+                submitter
+                    .submit(Request::new(key, vec![i as f32, 1.0]))
+                    .unwrap()
+            })
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait().unwrap().outputs, vec![i as f32 + 1.0]);
+        }
+        let report = dispatcher.shutdown();
+        assert_eq!(report.served, 8);
+        assert_eq!(report.mirrored, 16, "each baseline shadows every request");
+        let platforms = report.platforms();
+        let names: Vec<&str> = platforms.iter().map(|p| p.platform).collect();
+        assert_eq!(names, vec!["dpu_v2", "cpu", "gpu"]);
+        let freq = crate::energy::calib::FREQ_HZ;
+        for p in &platforms {
+            assert_eq!(p.requests, 8);
+            assert!(p.gops(freq) > 0.0, "{}: no throughput", p.platform);
+            if p.mirror {
+                assert!(p.edp_pj_ns(freq).unwrap() > 0.0);
+            }
+        }
+    }
+
+    #[test]
     fn facade_serves_batches() {
         let mut b = DagBuilder::new();
         let x = b.input();
@@ -241,9 +329,8 @@ mod tests {
         let dag = b.finish().unwrap();
         let dpu = Dpu::new(ArchConfig::new(2, 8, 16).unwrap());
         let requests: Vec<(usize, Vec<f32>)> = (0..12).map(|i| (0, vec![i as f32, 1.0])).collect();
-        let report = dpu
-            .serve(vec![dag], &requests, EngineOptions::default())
-            .unwrap();
+        let report = dpu.serve(vec![dag], &requests, EngineOptions::default());
+        assert!(report.failures.is_empty());
         assert_eq!(report.results.len(), 12);
         for (i, r) in report.results.iter().enumerate() {
             assert_eq!(r.outputs, vec![i as f32 + 1.0]);

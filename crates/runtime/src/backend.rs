@@ -1,0 +1,370 @@
+//! The [`Backend`] trait: the dispatcher's execution seam.
+//!
+//! A *backend* is anything that can register DAGs and execute
+//! [`Request`]s deterministically: the cycle-level simulated DPU-v2
+//! ([`Engine`]) or an analytic baseline platform model
+//! ([`BaselineBackend`] over [`BaselineModel`] — the paper's measured
+//! CPU/GPU/DPU-v1/SPU comparison points, §V-C / Table III). The
+//! [`Dispatcher`](crate::Dispatcher) routes rounds to backends without
+//! knowing which kind it is talking to, which is what makes **live**
+//! DPU-vs-baseline serving possible: the same request stream flows
+//! through heterogeneous shards, and the report carries per-platform
+//! throughput/GOPS/EDP side by side.
+//!
+//! Contract every backend must honor (the dispatcher's determinism
+//! guarantees are built on it):
+//!
+//! - **Pure results.** [`Backend::execute`] must be a pure function of
+//!   (backend construction parameters, registered DAG, request inputs) —
+//!   no time-, scheduling- or history-dependence. The per-worker
+//!   [`Scratch`] exists *only* to reuse allocations.
+//! - **Stable keys.** [`Backend::register`] must key DAGs by
+//!   [`dag_fingerprint`](crate::dag_fingerprint()), so the same DAG gets
+//!   the same [`DagKey`] on every shard of a dispatcher.
+//! - **Honest steal classes.** Two backends may report equal
+//!   [`StealClass`]es only if they produce byte-identical results for
+//!   every request — the dispatcher moves rounds freely within a class.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use dpu_baselines::BaselineModel;
+use dpu_dag::Dag;
+use dpu_isa::ArchConfig;
+use dpu_sim::{Activity, Machine, RunResult};
+
+use crate::cache::CacheStats;
+use crate::planner::plan_rounds;
+use crate::pool::{Engine, Request, ServeError};
+use crate::{dag_fingerprint, DagKey};
+
+/// Per-worker execution state owned by a shard thread: a reusable
+/// [`Machine`] for simulated backends, nothing for analytic ones. Opaque
+/// so third-party [`Backend`]s can carry whatever they need.
+pub type Scratch = Box<dyn Any + Send>;
+
+/// Work-stealing identity of a backend: the dispatcher lets one shard
+/// steal another's rounds **only** when their classes are equal, because
+/// within a class every shard produces byte-identical per-request
+/// results. Simulated and analytic backends are never interchangeable,
+/// and neither are two analytic models with different parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StealClass {
+    /// Cycle-level simulated DPU-v2 at this architecture point.
+    Sim(ArchConfig),
+    /// Analytic baseline with exactly these model parameters, at this
+    /// reference clock (Hz) — the clock is part of the identity because
+    /// it determines the per-request cycle counts.
+    Analytic(BaselineModel, f64),
+}
+
+/// An execution backend a [`Dispatcher`](crate::Dispatcher) shard can
+/// serve requests on. See the module docs for the contract.
+pub trait Backend: Send + Sync {
+    /// Stable machine-friendly platform key (`dpu_v2`, `cpu`, `gpu`,
+    /// `dpu_v1`, `spu`, ...) — serving reports group shards by it.
+    fn platform(&self) -> &'static str;
+
+    /// Registers a DAG and returns its structural fingerprint key.
+    fn register(&self, dag: Dag) -> DagKey;
+
+    /// Creates the per-worker scratch state (called once per shard
+    /// thread).
+    fn scratch(&self) -> Scratch;
+
+    /// Executes one request.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServeError`].
+    fn execute(&self, scratch: &mut Scratch, request: &Request) -> Result<RunResult, ServeError>;
+
+    /// Modelled cycles one closed round costs on this platform, given
+    /// each member's per-request cycles and the dispatcher's modelled
+    /// core count. Simulated DPU shards pack the round onto `cores`
+    /// parallel cores; whole-platform analytic models run members
+    /// serially (each evaluation already uses the entire platform).
+    fn round_cycles(&self, costs: &[u64], cores: usize) -> u64;
+
+    /// Work-stealing identity; see [`StealClass`].
+    fn steal_class(&self) -> StealClass;
+
+    /// Average power while executing, in watts — for live EDP reporting.
+    /// `None` when the backend has no flat power figure (the simulated
+    /// DPU's power is activity-dependent and modelled in `dpu-energy`).
+    fn power_w(&self) -> Option<f64> {
+        None
+    }
+
+    /// Program-cache statistics, for backends that compile.
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
+}
+
+/// The simulated DPU-v2 backend: an [`Engine`] *is* a backend. Scratch is
+/// the worker's reusable [`Machine`]; round costs follow the batch
+/// planner's optimal packing over the modelled parallel cores.
+impl Backend for Engine {
+    fn platform(&self) -> &'static str {
+        "dpu_v2"
+    }
+
+    fn register(&self, dag: Dag) -> DagKey {
+        Engine::register(self, dag)
+    }
+
+    fn scratch(&self) -> Scratch {
+        Box::new(Machine::new(*self.config()))
+    }
+
+    fn execute(&self, scratch: &mut Scratch, request: &Request) -> Result<RunResult, ServeError> {
+        let machine = scratch
+            .downcast_mut::<Machine>()
+            .expect("engine scratch is a Machine");
+        Engine::execute(self, machine, request)
+    }
+
+    fn round_cycles(&self, costs: &[u64], cores: usize) -> u64 {
+        plan_rounds(costs, cores).total_cycles
+    }
+
+    fn steal_class(&self) -> StealClass {
+        StealClass::Sim(*self.config())
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        Engine::cache_stats(self)
+    }
+}
+
+/// A registered DAG on a [`BaselineBackend`], with its input-independent
+/// modelled cost memoized at registration (the analytic models are
+/// shape-driven, so layering the DAG once per key is enough).
+struct BaselineEntry {
+    dag: Arc<Dag>,
+    cycles: u64,
+    dag_ops: u64,
+}
+
+/// An analytic baseline platform serving live traffic: wraps a
+/// [`BaselineModel`] (CPU / GPU / DPU-v1 / SPU) behind the [`Backend`]
+/// seam. Outputs come from the reference DAG evaluator; per-request cost
+/// is the model's predicted execution time, expressed in cycles of the
+/// dispatcher's reference clock so one [`DispatchReport`] can compare
+/// platforms on a single time base.
+///
+/// [`DispatchReport`]: crate::DispatchReport
+pub struct BaselineBackend {
+    model: BaselineModel,
+    freq_hz: f64,
+    dags: RwLock<HashMap<DagKey, BaselineEntry>>,
+}
+
+impl std::fmt::Debug for BaselineBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BaselineBackend")
+            .field("model", &self.model)
+            .field("freq_hz", &self.freq_hz)
+            .field(
+                "registered_dags",
+                &self.dags.read().expect("dag registry poisoned").len(),
+            )
+            .finish()
+    }
+}
+
+impl BaselineBackend {
+    /// Wraps `model`, converting its modelled seconds to cycles at
+    /// `freq_hz` — pass the same reference frequency the report's
+    /// GOPS accessors will be queried with (the DPU clock,
+    /// `dpu_energy::calib::FREQ_HZ`, in every shipped bench).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not strictly positive.
+    pub fn new(model: BaselineModel, freq_hz: f64) -> Self {
+        assert!(freq_hz > 0.0, "reference frequency must be positive");
+        BaselineBackend {
+            model,
+            freq_hz,
+            dags: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped platform model.
+    pub fn model(&self) -> &BaselineModel {
+        &self.model
+    }
+}
+
+impl Backend for BaselineBackend {
+    fn platform(&self) -> &'static str {
+        self.model.platform()
+    }
+
+    fn register(&self, dag: Dag) -> DagKey {
+        let key = dag_fingerprint(&dag);
+        let mut dags = self.dags.write().expect("dag registry poisoned");
+        dags.entry(key).or_insert_with(|| {
+            // ceil, so no DAG is ever modelled as free: sub-cycle
+            // predictions still cost one reference cycle.
+            let cycles = (self.model.exec_time_s(&dag) * self.freq_hz).ceil() as u64;
+            // Count operations of the *binarized* DAG — the numerator the
+            // simulated DPU reports — so per-platform GOPS within one
+            // dispatch report divide the same work by each platform's
+            // time. (The model's exec time stays layered over the source
+            // DAG: the measured platforms ran n-ary nodes natively.)
+            let dag_ops = dag.binarize().0.op_count() as u64;
+            BaselineEntry {
+                dag_ops,
+                cycles: cycles.max(1),
+                dag: Arc::new(dag),
+            }
+        });
+        key
+    }
+
+    fn scratch(&self) -> Scratch {
+        Box::new(())
+    }
+
+    fn execute(&self, _scratch: &mut Scratch, request: &Request) -> Result<RunResult, ServeError> {
+        let dags = self.dags.read().expect("dag registry poisoned");
+        let entry = dags
+            .get(&request.dag)
+            .ok_or(ServeError::UnknownDag(request.dag))?;
+        let (dag, cycles, dag_ops) = (Arc::clone(&entry.dag), entry.cycles, entry.dag_ops);
+        drop(dags);
+        let run = self
+            .model
+            .execute(&dag, &request.inputs)
+            .map_err(ServeError::Inputs)?;
+        Ok(RunResult {
+            cycles,
+            outputs: run.outputs,
+            activity: Activity::default(),
+            dag_ops,
+        })
+    }
+
+    fn round_cycles(&self, costs: &[u64], _cores: usize) -> u64 {
+        // One evaluation occupies the whole modelled platform, so a round
+        // executes its members back to back.
+        costs.iter().sum()
+    }
+
+    fn steal_class(&self) -> StealClass {
+        StealClass::Analytic(self.model, self.freq_hz)
+    }
+
+    fn power_w(&self) -> Option<f64> {
+        Some(self.model.power_w())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_compiler::CompileOptions;
+    use dpu_dag::{eval, DagBuilder, Op};
+
+    use crate::pool::EngineOptions;
+
+    fn small_dag() -> Dag {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let s = b.node(Op::Add, &[x, y]).unwrap();
+        b.node(Op::Mul, &[s, s]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn engine_backend_matches_direct_engine_calls() {
+        let engine = Engine::new(
+            ArchConfig::new(2, 8, 16).unwrap(),
+            CompileOptions::default(),
+            EngineOptions {
+                workers: 1,
+                cores: 4,
+                cache_capacity: None,
+            },
+        );
+        let backend: &dyn Backend = &engine;
+        assert_eq!(backend.platform(), "dpu_v2");
+        let key = backend.register(small_dag());
+        let mut scratch = backend.scratch();
+        let got = backend
+            .execute(&mut scratch, &Request::new(key, vec![2.0, 3.0]))
+            .unwrap();
+        assert_eq!(got.outputs, vec![25.0]);
+        assert_eq!(
+            backend.steal_class(),
+            StealClass::Sim(*engine.config()),
+            "engine steal class is its architecture point"
+        );
+        assert_eq!(backend.round_cycles(&[10, 10, 10, 10, 10], 4), 20);
+        assert!(backend.power_w().is_none());
+    }
+
+    #[test]
+    fn baseline_backend_serves_reference_outputs_at_model_cost() {
+        let dag = small_dag();
+        let backend = BaselineBackend::new(BaselineModel::cpu(), 300e6);
+        let key = backend.register(dag.clone());
+        // Idempotent re-register.
+        assert_eq!(backend.register(dag.clone()), key);
+        let mut scratch = backend.scratch();
+        let got = backend
+            .execute(&mut scratch, &Request::new(key, vec![2.0, 3.0]))
+            .unwrap();
+        assert_eq!(
+            got.outputs,
+            eval::evaluate_sinks(&dag, &[2.0, 3.0]).unwrap()
+        );
+        let want_cycles = (BaselineModel::cpu().exec_time_s(&dag) * 300e6).ceil() as u64;
+        assert_eq!(got.cycles, want_cycles.max(1));
+        assert_eq!(got.dag_ops, dag.op_count() as u64);
+        // Rounds run serially on a whole-platform model.
+        assert_eq!(backend.round_cycles(&[5, 7], 8), 12);
+        assert_eq!(backend.power_w(), Some(BaselineModel::cpu().power_w()));
+    }
+
+    #[test]
+    fn baseline_backend_rejects_unknown_dag_and_bad_arity() {
+        let backend = BaselineBackend::new(BaselineModel::gpu(), 300e6);
+        let mut scratch = backend.scratch();
+        let err = backend
+            .execute(&mut scratch, &Request::new(DagKey(0xbad), vec![]))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownDag(_)));
+        let key = backend.register(small_dag());
+        let err = backend
+            .execute(&mut scratch, &Request::new(key, vec![1.0]))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Inputs(_)));
+    }
+
+    #[test]
+    fn steal_classes_separate_platforms_params_and_clocks() {
+        let cpu_a = BaselineBackend::new(BaselineModel::cpu(), 300e6);
+        let cpu_b = BaselineBackend::new(BaselineModel::cpu(), 300e6);
+        let gpu = BaselineBackend::new(BaselineModel::gpu(), 300e6);
+        assert_eq!(cpu_a.steal_class(), cpu_b.steal_class());
+        assert_ne!(cpu_a.steal_class(), gpu.steal_class());
+        // Same model at a different reference clock produces different
+        // per-request cycles — it must not share a steal class.
+        let cpu_fast_clock = BaselineBackend::new(BaselineModel::cpu(), 1e9);
+        assert_ne!(cpu_a.steal_class(), cpu_fast_clock.steal_class());
+        let tweaked = BaselineBackend::new(
+            BaselineModel::Cpu(dpu_baselines::cpu::CpuModel {
+                cores: 4,
+                ..Default::default()
+            }),
+            300e6,
+        );
+        assert_ne!(cpu_a.steal_class(), tweaked.steal_class());
+    }
+}

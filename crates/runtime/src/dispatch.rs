@@ -1,34 +1,50 @@
-//! Sharded multi-engine dispatcher: continuous ingestion, adaptive round
-//! closing, warm-cache affinity routing, and work stealing.
+//! Sharded multi-backend dispatcher: continuous ingestion, adaptive round
+//! closing, warm-cache affinity routing, work stealing, and live
+//! DPU-vs-baseline mirroring.
 //!
-//! The [`Dispatcher`] is the layer above [`Engine`]: where an engine
-//! serves a pre-collected slice of requests, the dispatcher accepts
-//! requests **continuously** through [`Submitter`] handles and serves them
-//! across `N` engine shards (replicas of one [`ArchConfig`], or distinct
-//! configuration points — see [`Dispatcher::with_configs`]).
+//! The [`Dispatcher`] is the layer above the execution backends: where an
+//! engine serves a pre-collected slice of requests, the dispatcher
+//! accepts requests **continuously** through [`Submitter`] handles and
+//! serves them across `N` shards. A shard is any [`Backend`]: a simulated
+//! DPU-v2 [`Engine`] (replicas of one [`ArchConfig`], or distinct
+//! configuration points — see [`Dispatcher::with_configs`]) or an
+//! analytic baseline platform
+//! ([`BaselineBackend`](crate::BaselineBackend)), so one request stream
+//! can be served across heterogeneous hardware models — the paper's
+//! §V-C comparison, live.
 //!
 //! - **Routing.** Each request's [`DagKey`] fingerprint picks a *home
-//!   shard* ([`home_shard`]), so repeat traffic for a DAG always lands on
-//!   the shard whose [`ProgramCache`](crate::ProgramCache) already holds
-//!   its compiled program (warm-cache affinity).
+//!   shard* ([`home_shard`]) among the **primary** shards, so repeat
+//!   traffic for a DAG always lands on the shard whose
+//!   [`ProgramCache`](crate::ProgramCache) already holds its compiled
+//!   program (warm-cache affinity).
 //! - **Adaptive round closing.** The ingestion thread accumulates each
 //!   shard's pending requests into a *round* and closes it when the round
 //!   reaches [`DispatchOptions::max_batch`] requests **or** its oldest
 //!   request has waited [`DispatchOptions::max_wait`] — whichever comes
 //!   first. Bursts get full rounds; trickles get bounded latency.
 //! - **Work stealing.** An idle shard steals the most recently queued
-//!   round from the deepest backlog among shards with an identical
-//!   configuration (stealing across *distinct* configs would change
-//!   per-request cycle counts and rounding, breaking determinism). The
-//!   thief compiles through its own cache, so stealing trades a possible
-//!   cold compile for latency — exactly the real trade-off.
+//!   round from the deepest backlog among shards in the same *steal
+//!   class* ([`StealClass`](crate::StealClass)): identical backends with
+//!   identical parameters, and the same primary/mirror role. Stealing
+//!   across distinct classes would change per-request results or
+//!   accounting, breaking determinism. The thief compiles through its
+//!   own cache, so stealing trades a possible cold compile for latency —
+//!   exactly the real trade-off.
+//! - **Mirror mode.** [`Dispatcher::with_backends`] optionally takes
+//!   *mirror* shards: every accepted request is additionally executed,
+//!   ticketless, on each mirror — e.g. a DPU-v2 fleet serving the
+//!   traffic while CPU/GPU baseline models shadow it, so
+//!   [`DispatchReport::platforms`] answers "what would this live traffic
+//!   cost on a Xeon?" from the **same** dispatcher run. Mirrors never
+//!   touch ticket results: per-request outputs remain byte-identical to
+//!   a serial DPU pass.
 //! - **Deterministic, loss-free shutdown.** Every request accepted by
 //!   [`Submitter::submit`] is executed and its [`Ticket`](crate::Ticket)
-//!   fulfilled
-//!   before [`Dispatcher::shutdown`] returns; per-request results are
-//!   byte-identical to a serial pass regardless of shard count, stealing,
-//!   or timing (a request's result depends only on its compiled program
-//!   and inputs).
+//!   fulfilled before [`Dispatcher::shutdown`] returns; per-request
+//!   results are byte-identical to a serial pass regardless of shard
+//!   count, stealing, or timing (a request's result depends only on its
+//!   backend's parameters, its program, and its inputs).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,30 +55,30 @@ use std::time::{Duration, Instant};
 use dpu_compiler::CompileOptions;
 use dpu_dag::Dag;
 use dpu_isa::ArchConfig;
-use dpu_sim::Machine;
 
+use crate::backend::Backend;
 use crate::cache::CacheStats;
 use crate::ingest::{Gate, Job, Submitter, TicketState};
-use crate::planner::plan_rounds;
 use crate::pool::{Engine, EngineOptions, Request};
 use crate::{DagKey, DPU_V2_L_CORES};
 
 /// Sizing and policy knobs of a [`Dispatcher`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DispatchOptions {
-    /// Number of engine shards (ignored by [`Dispatcher::with_configs`],
-    /// which takes one shard per config).
+    /// Number of engine shards (ignored by [`Dispatcher::with_configs`]
+    /// and [`Dispatcher::with_backends`], which take one shard per
+    /// config/backend).
     pub shards: usize,
     /// Close a shard's pending round once it holds this many requests.
     pub max_batch: usize,
     /// ... or once its oldest request has waited this long (the latency
     /// budget), whichever comes first.
     pub max_wait: Duration,
-    /// Allow idle shards to steal queued rounds from same-config shards.
+    /// Allow idle shards to steal queued rounds from same-class shards.
     pub work_stealing: bool,
     /// Modelled DPU cores per shard, for the simulated-clock accounting
-    /// (each executed round is packed onto these cores by
-    /// [`plan_rounds`]).
+    /// (each executed round is packed onto these cores by the backend's
+    /// round-cost model).
     pub cores: usize,
     /// Per-shard program-cache capacity (`None` = unbounded).
     pub cache_capacity: Option<usize>,
@@ -81,9 +97,9 @@ impl Default for DispatchOptions {
     }
 }
 
-/// The home shard of a DAG key among `shards` shards — the affinity half
-/// of the routing policy. [`DagKey`] is already a structural hash, so a
-/// plain modulus spreads distinct DAGs uniformly.
+/// The home shard of a DAG key among `shards` primary shards — the
+/// affinity half of the routing policy. [`DagKey`] is already a
+/// structural hash, so a plain modulus spreads distinct DAGs uniformly.
 ///
 /// # Panics
 ///
@@ -95,10 +111,13 @@ pub fn home_shard(key: DagKey, shards: usize) -> usize {
 
 /// One closed round: the unit of dispatch between ingestion and shards.
 struct Round {
-    /// The shard this round was routed to (its keys' home).
+    /// The shard this round was routed to (its keys' home, or the mirror
+    /// shard it shadows traffic for).
     home: usize,
-    /// Requests in arrival order, each with its completion handle.
-    jobs: Vec<(Request, Arc<TicketState>)>,
+    /// Requests in arrival order, each with its completion handle —
+    /// `None` on mirror rounds, whose results are accounted but not
+    /// delivered.
+    jobs: Vec<(Request, Option<Arc<TicketState>>)>,
 }
 
 /// Per-shard queue state behind the shared lock.
@@ -118,8 +137,8 @@ struct Queues {
     work: Condvar,
 }
 
-/// Outstanding accepted-but-not-completed request count, for
-/// [`Dispatcher::drain`].
+/// Outstanding accepted-but-not-completed job count (mirror copies
+/// included), for [`Dispatcher::drain`].
 struct InFlight {
     count: Mutex<u64>,
     zero: Condvar,
@@ -140,16 +159,19 @@ impl InFlight {
     }
 }
 
-/// One engine shard plus its execution counters (written only by the
+/// One backend shard plus its execution counters (written only by the
 /// shard's worker thread; read at shutdown).
 struct ShardState {
-    engine: Engine,
+    backend: Arc<dyn Backend>,
+    /// Mirror shards shadow the full request stream without fulfilling
+    /// tickets.
+    mirror: bool,
     requests: AtomicU64,
     rounds: AtomicU64,
     /// Rounds this shard executed that were homed on another shard.
     stolen: AtomicU64,
-    /// Simulated cycles of this shard's executed rounds, each packed onto
-    /// [`DispatchOptions::cores`] modelled cores.
+    /// Simulated cycles of this shard's executed rounds, per the
+    /// backend's round-cost model.
     modelled_cycles: AtomicU64,
     dag_ops: AtomicU64,
 }
@@ -166,30 +188,100 @@ struct IngestStats {
 /// Per-shard slice of a [`DispatchReport`].
 #[derive(Debug, Clone)]
 pub struct ShardReport {
-    /// The architecture point this shard serves.
-    pub config: ArchConfig,
+    /// Platform key of the backend this shard serves (`dpu_v2`, `cpu`,
+    /// ...).
+    pub platform: &'static str,
+    /// Whether this shard mirrored traffic instead of serving tickets.
+    pub mirror: bool,
     /// Requests this shard executed.
     pub requests: u64,
     /// Rounds this shard executed.
     pub rounds: u64,
     /// Of those, rounds stolen from another shard's queue.
     pub stolen_rounds: u64,
-    /// Simulated cycles of this shard's work on its modelled cores.
+    /// Simulated cycles of this shard's work on its modelled platform.
     pub modelled_cycles: u64,
     /// Arithmetic DAG operations served.
     pub dag_ops: u64,
-    /// Final program-cache statistics.
+    /// Declared average platform power (analytic backends), if any.
+    pub power_w: Option<f64>,
+    /// Final program-cache statistics (zero for backends that never
+    /// compile).
     pub cache: CacheStats,
+}
+
+/// Live per-platform aggregate over a dispatcher's shards — one row of
+/// the side-by-side DPU-vs-baseline comparison
+/// ([`DispatchReport::platforms`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformSummary {
+    /// Platform key (`dpu_v2`, `cpu`, `gpu`, `dpu_v1`, `spu`, ...).
+    pub platform: &'static str,
+    /// Shards of this platform.
+    pub shards: usize,
+    /// Whether these shards mirrored traffic (vs serving tickets).
+    pub mirror: bool,
+    /// Requests executed across the platform's shards.
+    pub requests: u64,
+    /// Arithmetic DAG operations served.
+    pub dag_ops: u64,
+    /// Modelled makespan: the platform's shards are independent devices
+    /// running in parallel, so this is the busiest shard's cycles.
+    pub modelled_cycles: u64,
+    /// Declared average power **per device** (one shard), if the backend
+    /// models one. Fleet-level metrics scale this by [`shards`].
+    ///
+    /// [`shards`]: PlatformSummary::shards
+    pub power_w: Option<f64>,
+}
+
+impl PlatformSummary {
+    /// Throughput in operations per second at the reference clock
+    /// `freq_hz` (DAG operations over the platform's modelled makespan).
+    pub fn throughput_ops(&self, freq_hz: f64) -> f64 {
+        self.dag_ops as f64 * freq_hz / self.modelled_cycles.max(1) as f64
+    }
+
+    /// [`PlatformSummary::throughput_ops`] in GOPS.
+    pub fn gops(&self, freq_hz: f64) -> f64 {
+        self.throughput_ops(freq_hz) / 1e9
+    }
+
+    /// Energy-delay product per operation in pJ·ns — the Table III
+    /// metric, `(power / throughput) × (1 / throughput)` — when the
+    /// platform declares a power figure and served any work. Throughput
+    /// here is the *fleet's* (ops over the parallel makespan), so power
+    /// is the fleet's too: per-device [`PlatformSummary::power_w`] times
+    /// [`PlatformSummary::shards`].
+    pub fn edp_pj_ns(&self, freq_hz: f64) -> Option<f64> {
+        let gops = self.gops(freq_hz);
+        let power = self.power_w? * self.shards as f64;
+        if gops <= 0.0 {
+            return None;
+        }
+        Some((power / gops * 1e3) * (1.0 / gops))
+    }
 }
 
 /// Aggregate result of a dispatcher's lifetime, returned by
 /// [`Dispatcher::shutdown`].
+///
+/// Headline aggregates ([`DispatchReport::total_dag_ops`],
+/// [`DispatchReport::modelled_cycles`], [`DispatchReport::gops`],
+/// [`DispatchReport::shard_balance`], [`DispatchReport::cache_totals`])
+/// cover the **primary** shards — the serving system itself. Mirror
+/// shards are observers; they appear in [`DispatchReport::shards`] and in
+/// the per-platform comparison ([`DispatchReport::platforms`]).
 #[derive(Debug, Clone)]
 pub struct DispatchReport {
     /// Requests accepted over the dispatcher's lifetime.
     pub submitted: u64,
-    /// Requests executed (equals `submitted`: shutdown is loss-free).
+    /// Requests executed on primary shards (equals `submitted`: shutdown
+    /// is loss-free).
     pub served: u64,
+    /// Shadow executions on mirror shards (`submitted ×` mirror count
+    /// when mirrors are configured).
+    pub mirrored: u64,
     /// Rounds closed because they reached
     /// [`DispatchOptions::max_batch`].
     pub rounds_closed_full: u64,
@@ -197,24 +289,27 @@ pub struct DispatchReport {
     pub rounds_closed_timer: u64,
     /// Rounds closed by [`Dispatcher::flush`] / shutdown.
     pub rounds_closed_flush: u64,
-    /// Per-shard execution counters.
+    /// Per-shard execution counters (primaries first, then mirrors).
     pub shards: Vec<ShardReport>,
     /// Host wall-clock seconds from construction to shutdown.
     pub host_seconds: f64,
 }
 
 impl DispatchReport {
-    /// Total arithmetic DAG operations served.
-    pub fn total_dag_ops(&self) -> u64 {
-        self.shards.iter().map(|s| s.dag_ops).sum()
+    fn primaries(&self) -> impl Iterator<Item = &ShardReport> {
+        self.shards.iter().filter(|s| !s.mirror)
     }
 
-    /// Simulated wall-clock of the whole run: shards are independent
-    /// modelled devices running in parallel, so the makespan is the
-    /// busiest shard's cycles.
+    /// Total arithmetic DAG operations served by primary shards.
+    pub fn total_dag_ops(&self) -> u64 {
+        self.primaries().map(|s| s.dag_ops).sum()
+    }
+
+    /// Simulated wall-clock of the serving system: primary shards are
+    /// independent modelled devices running in parallel, so the makespan
+    /// is the busiest one's cycles.
     pub fn modelled_cycles(&self) -> u64 {
-        self.shards
-            .iter()
+        self.primaries()
             .map(|s| s.modelled_cycles)
             .max()
             .unwrap_or(0)
@@ -231,20 +326,22 @@ impl DispatchReport {
         self.throughput_ops(freq_hz) / 1e9
     }
 
-    /// Shard load balance: busiest shard's requests over the per-shard
-    /// mean. 1.0 is perfect balance; `k` means the busiest shard carried
-    /// `k×` its fair share. 0.0 when nothing was served.
+    /// Shard load balance over primary shards: busiest shard's requests
+    /// over the per-shard mean. 1.0 is perfect balance; `k` means the
+    /// busiest shard carried `k×` its fair share. 0.0 when nothing was
+    /// served.
     pub fn shard_balance(&self) -> f64 {
-        let total: u64 = self.shards.iter().map(|s| s.requests).sum();
-        if total == 0 || self.shards.is_empty() {
+        let n = self.primaries().count();
+        let total: u64 = self.primaries().map(|s| s.requests).sum();
+        if total == 0 || n == 0 {
             return 0.0;
         }
-        let mean = total as f64 / self.shards.len() as f64;
-        let max = self.shards.iter().map(|s| s.requests).max().unwrap_or(0);
+        let mean = total as f64 / n as f64;
+        let max = self.primaries().map(|s| s.requests).max().unwrap_or(0);
         max as f64 / mean
     }
 
-    /// Fraction of executed rounds that were work-stolen.
+    /// Fraction of executed rounds (all shards) that were work-stolen.
     pub fn steal_rate(&self) -> f64 {
         let rounds: u64 = self.shards.iter().map(|s| s.rounds).sum();
         if rounds == 0 {
@@ -254,10 +351,10 @@ impl DispatchReport {
         stolen as f64 / rounds as f64
     }
 
-    /// Aggregated program-cache statistics across shards.
+    /// Aggregated program-cache statistics across primary shards.
     pub fn cache_totals(&self) -> CacheStats {
         let mut total = CacheStats::default();
-        for s in &self.shards {
+        for s in self.primaries() {
             total.hits += s.cache.hits;
             total.misses += s.cache.misses;
             total.evictions += s.cache.evictions;
@@ -265,12 +362,49 @@ impl DispatchReport {
         }
         total
     }
+
+    /// The live side-by-side platform comparison: shards grouped by
+    /// platform key (in first-appearance order, primaries before
+    /// mirrors), each with its own requests / DAG-op / makespan / power
+    /// aggregate. Query [`PlatformSummary::gops`] and
+    /// [`PlatformSummary::edp_pj_ns`] at the reference clock to get the
+    /// paper's Table III metrics per platform.
+    pub fn platforms(&self) -> Vec<PlatformSummary> {
+        let mut out: Vec<PlatformSummary> = Vec::new();
+        for s in &self.shards {
+            if let Some(p) = out
+                .iter_mut()
+                .find(|p| p.platform == s.platform && p.mirror == s.mirror)
+            {
+                p.shards += 1;
+                p.requests += s.requests;
+                p.dag_ops += s.dag_ops;
+                p.modelled_cycles = p.modelled_cycles.max(s.modelled_cycles);
+                if p.power_w.is_none() {
+                    p.power_w = s.power_w;
+                }
+            } else {
+                out.push(PlatformSummary {
+                    platform: s.platform,
+                    shards: 1,
+                    mirror: s.mirror,
+                    requests: s.requests,
+                    dag_ops: s.dag_ops,
+                    modelled_cycles: s.modelled_cycles,
+                    power_w: s.power_w,
+                });
+            }
+        }
+        out
+    }
 }
 
 /// The sharded async serving front-end. See the module docs for the
 /// execution model.
 pub struct Dispatcher {
     shards: Vec<Arc<ShardState>>,
+    /// Primary shard count; shards `[primaries..]` are mirrors.
+    primaries: usize,
     tx: crossbeam::channel::Sender<Job>,
     shut_down: Arc<RwLock<bool>>,
     queues: Arc<Queues>,
@@ -288,14 +422,15 @@ impl std::fmt::Debug for Dispatcher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Dispatcher")
             .field("shards", &self.shards.len())
+            .field("primaries", &self.primaries)
             .field("options", &self.options)
             .finish()
     }
 }
 
 impl Dispatcher {
-    /// Builds a dispatcher of [`DispatchOptions::shards`] replica shards,
-    /// every shard serving `config`.
+    /// Builds a dispatcher of [`DispatchOptions::shards`] replica engine
+    /// shards, every shard serving `config`.
     ///
     /// # Panics
     ///
@@ -306,7 +441,7 @@ impl Dispatcher {
         Self::with_configs(vec![config; options.shards], compile_opts, options)
     }
 
-    /// Builds a dispatcher with one shard per entry of `configs` —
+    /// Builds a dispatcher with one engine shard per entry of `configs` —
     /// distinct architecture points are allowed (work stealing then only
     /// happens between shards with identical configs).
     ///
@@ -317,27 +452,59 @@ impl Dispatcher {
     pub fn with_configs(
         configs: Vec<ArchConfig>,
         compile_opts: CompileOptions,
-        mut options: DispatchOptions,
+        options: DispatchOptions,
     ) -> Self {
-        assert!(!configs.is_empty(), "at least one shard required");
-        assert!(options.max_batch > 0, "max_batch must be positive");
-        assert!(options.cores > 0, "cores must be positive");
-        options.shards = configs.len();
-        let n = configs.len();
-
-        let shards: Vec<Arc<ShardState>> = configs
+        let backends: Vec<Arc<dyn Backend>> = configs
             .iter()
             .map(|&config| {
+                Arc::new(Engine::new(
+                    config,
+                    compile_opts.clone(),
+                    EngineOptions {
+                        workers: 1,
+                        cores: options.cores,
+                        cache_capacity: options.cache_capacity,
+                    },
+                )) as Arc<dyn Backend>
+            })
+            .collect();
+        Self::with_backends(backends, Vec::new(), options)
+    }
+
+    /// Builds a dispatcher over arbitrary [`Backend`]s — the multi-layer
+    /// seam behind every other constructor.
+    ///
+    /// `primaries` serve the ticketed request stream (routing and
+    /// stealing as in the module docs). Each entry of `mirrors`
+    /// additionally shadows **every** accepted request, ticketless, so
+    /// one run yields a live per-platform comparison
+    /// ([`DispatchReport::platforms`]) without perturbing primary
+    /// results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `primaries` is empty, `options.max_batch == 0` or
+    /// `options.cores == 0`.
+    pub fn with_backends(
+        primaries: Vec<Arc<dyn Backend>>,
+        mirrors: Vec<Arc<dyn Backend>>,
+        mut options: DispatchOptions,
+    ) -> Self {
+        assert!(!primaries.is_empty(), "at least one primary shard required");
+        assert!(options.max_batch > 0, "max_batch must be positive");
+        assert!(options.cores > 0, "cores must be positive");
+        options.shards = primaries.len();
+        let p = primaries.len();
+        let n = p + mirrors.len();
+
+        let shards: Vec<Arc<ShardState>> = primaries
+            .into_iter()
+            .map(|b| (b, false))
+            .chain(mirrors.into_iter().map(|b| (b, true)))
+            .map(|(backend, mirror)| {
                 Arc::new(ShardState {
-                    engine: Engine::new(
-                        config,
-                        compile_opts.clone(),
-                        EngineOptions {
-                            workers: 1,
-                            cores: options.cores,
-                            cache_capacity: options.cache_capacity,
-                        },
-                    ),
+                    backend,
+                    mirror,
                     requests: AtomicU64::new(0),
                     rounds: AtomicU64::new(0),
                     stolen: AtomicU64::new(0),
@@ -348,12 +515,20 @@ impl Dispatcher {
             .collect();
 
         // Steal classes: shard j may steal from shard k iff they share a
-        // class, i.e. have identical configs (identical compiled
-        // programs, hence identical per-request results).
+        // class — same primary/mirror role and equal backend
+        // `StealClass` (identical per-request results), represented as
+        // the index of the first shard of the class.
         let steal_class: Arc<Vec<usize>> = Arc::new(
-            configs
-                .iter()
-                .map(|c| configs.iter().position(|d| d == c).expect("self"))
+            (0..n)
+                .map(|j| {
+                    (0..n)
+                        .position(|k| {
+                            shards[k].mirror == shards[j].mirror
+                                && shards[k].backend.steal_class()
+                                    == shards[j].backend.steal_class()
+                        })
+                        .expect("self always matches")
+                })
                 .collect(),
         );
 
@@ -380,7 +555,7 @@ impl Dispatcher {
             let in_flight = Arc::clone(&in_flight);
             std::thread::Builder::new()
                 .name("dpu-ingest".into())
-                .spawn(move || ingest_loop(&rx, &queues, &in_flight, n, options))
+                .spawn(move || ingest_loop(&rx, &queues, &in_flight, p, n, options))
                 .expect("spawn ingest thread")
         };
 
@@ -401,6 +576,7 @@ impl Dispatcher {
 
         Dispatcher {
             shards,
+            primaries: p,
             tx,
             shut_down,
             queues,
@@ -414,22 +590,28 @@ impl Dispatcher {
     }
 
     /// The options this dispatcher runs with (with `shards` normalized to
-    /// the actual shard count).
+    /// the actual primary shard count).
     pub fn options(&self) -> &DispatchOptions {
         &self.options
     }
 
-    /// Number of engine shards.
+    /// Number of shards, mirrors included.
     pub fn shards(&self) -> usize {
         self.shards.len()
     }
 
-    /// Registers a DAG on **every** shard (stealing and rebalancing mean
-    /// any shard may end up executing it) and returns its content key.
+    /// Number of primary (ticket-serving) shards.
+    pub fn primary_shards(&self) -> usize {
+        self.primaries
+    }
+
+    /// Registers a DAG on **every** shard (stealing, rebalancing and
+    /// mirroring mean any shard may end up executing it) and returns its
+    /// content key.
     pub fn register(&self, dag: Dag) -> DagKey {
         let mut key = None;
         for shard in &self.shards {
-            key = Some(shard.engine.register(dag.clone()));
+            key = Some(shard.backend.register(dag.clone()));
         }
         key.expect("at least one shard")
     }
@@ -440,12 +622,12 @@ impl Dispatcher {
         Submitter::new(self.tx.clone(), Arc::clone(&self.shut_down))
     }
 
-    /// Requests the ingestion thread has picked up but that have not yet
-    /// completed. A request sits briefly in the ingestion channel between
-    /// `submit` and pickup, so this can read 0 while accepted requests
-    /// are still queued — use [`Dispatcher::drain`] (whose flush marker
-    /// is ordered behind every earlier submit) as the quiescence barrier,
-    /// not this counter.
+    /// Jobs the ingestion thread has picked up but that have not yet
+    /// completed (mirror copies included). A request sits briefly in the
+    /// ingestion channel between `submit` and pickup, so this can read 0
+    /// while accepted requests are still queued — use
+    /// [`Dispatcher::drain`] (whose flush marker is ordered behind every
+    /// earlier submit) as the quiescence barrier, not this counter.
     pub fn in_flight(&self) -> u64 {
         *self.in_flight.count.lock().expect("in-flight poisoned")
     }
@@ -461,8 +643,8 @@ impl Dispatcher {
     }
 
     /// Flushes, then blocks until every request accepted before the flush
-    /// has completed (its ticket fulfilled). The dispatcher keeps
-    /// serving; this is a barrier, not a shutdown.
+    /// has completed (its ticket fulfilled, its mirror copies executed).
+    /// The dispatcher keeps serving; this is a barrier, not a shutdown.
     pub fn drain(&self) {
         self.flush();
         let mut count = self.in_flight.count.lock().expect("in-flight poisoned");
@@ -482,18 +664,25 @@ impl Dispatcher {
             .shards
             .iter()
             .map(|s| ShardReport {
-                config: *s.engine.config(),
+                platform: s.backend.platform(),
+                mirror: s.mirror,
                 requests: s.requests.load(Ordering::Relaxed),
                 rounds: s.rounds.load(Ordering::Relaxed),
                 stolen_rounds: s.stolen.load(Ordering::Relaxed),
                 modelled_cycles: s.modelled_cycles.load(Ordering::Relaxed),
                 dag_ops: s.dag_ops.load(Ordering::Relaxed),
-                cache: s.engine.cache_stats(),
+                power_w: s.backend.power_w(),
+                cache: s.backend.cache_stats(),
             })
             .collect();
         DispatchReport {
             submitted: ingest.submitted,
-            served: shards.iter().map(|s| s.requests).sum(),
+            served: shards
+                .iter()
+                .filter(|s| !s.mirror)
+                .map(|s| s.requests)
+                .sum(),
+            mirrored: shards.iter().filter(|s| s.mirror).map(|s| s.requests).sum(),
             rounds_closed_full: ingest.closed_full,
             rounds_closed_timer: ingest.closed_timer,
             rounds_closed_flush: ingest.closed_flush,
@@ -539,36 +728,57 @@ impl Drop for Dispatcher {
     }
 }
 
-/// The ingestion loop: route, accumulate, close rounds adaptively.
+/// One pending job: a request plus its completion handle (`None` on
+/// mirror copies).
+type PendingJob = (Request, Option<Arc<TicketState>>);
+
+/// The ingestion loop: route among `p` primaries, fan copies out to the
+/// mirror shards `p..n`, accumulate, close rounds adaptively.
 fn ingest_loop(
     rx: &crossbeam::channel::Receiver<Job>,
     queues: &Queues,
     in_flight: &InFlight,
+    p: usize,
     n: usize,
     options: DispatchOptions,
 ) -> IngestStats {
     use crossbeam::channel::RecvTimeoutError;
 
     let mut stats = IngestStats::default();
-    let mut pending: Vec<Vec<(Request, Arc<TicketState>)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut pending: Vec<Vec<PendingJob>> = (0..n).map(|_| Vec::new()).collect();
     let mut first_at: Vec<Option<Instant>> = vec![None; n];
 
-    let close = |s: usize,
-                 pending: &mut Vec<Vec<(Request, Arc<TicketState>)>>,
-                 first_at: &mut Vec<Option<Instant>>| {
-        if pending[s].is_empty() {
-            return false;
-        }
-        let round = Round {
-            home: s,
-            jobs: std::mem::take(&mut pending[s]),
+    let close =
+        |s: usize, pending: &mut Vec<Vec<PendingJob>>, first_at: &mut Vec<Option<Instant>>| {
+            if pending[s].is_empty() {
+                return false;
+            }
+            let round = Round {
+                home: s,
+                jobs: std::mem::take(&mut pending[s]),
+            };
+            first_at[s] = None;
+            let mut qs = queues.inner.lock().expect("queues poisoned");
+            qs[s].rounds.push_back(round);
+            drop(qs);
+            queues.work.notify_all();
+            true
         };
-        first_at[s] = None;
-        let mut qs = queues.inner.lock().expect("queues poisoned");
-        qs[s].rounds.push_back(round);
-        drop(qs);
-        queues.work.notify_all();
-        true
+
+    // Appends one job to shard `s`'s pending round, closing it when full.
+    let push = |s: usize,
+                job: PendingJob,
+                pending: &mut Vec<Vec<PendingJob>>,
+                first_at: &mut Vec<Option<Instant>>,
+                stats: &mut IngestStats| {
+        in_flight.inc();
+        if pending[s].is_empty() {
+            first_at[s] = Some(Instant::now());
+        }
+        pending[s].push(job);
+        if pending[s].len() >= options.max_batch && close(s, pending, first_at) {
+            stats.closed_full += 1;
+        }
     };
 
     loop {
@@ -603,15 +813,24 @@ fn ingest_loop(
         match msg {
             Some(Job::Request(request, ticket)) => {
                 stats.submitted += 1;
-                in_flight.inc();
-                let s = home_shard(request.dag, n);
-                if pending[s].is_empty() {
-                    first_at[s] = Some(Instant::now());
+                let s = home_shard(request.dag, p);
+                // Mirror copies first (so `request` moves last).
+                for m in p..n {
+                    push(
+                        m,
+                        (request.clone(), None),
+                        &mut pending,
+                        &mut first_at,
+                        &mut stats,
+                    );
                 }
-                pending[s].push((request, ticket));
-                if pending[s].len() >= options.max_batch && close(s, &mut pending, &mut first_at) {
-                    stats.closed_full += 1;
-                }
+                push(
+                    s,
+                    (request, Some(ticket)),
+                    &mut pending,
+                    &mut first_at,
+                    &mut stats,
+                );
             }
             Some(Job::Flush(gate)) => {
                 for s in 0..n {
@@ -641,8 +860,8 @@ fn ingest_loop(
     }
 }
 
-/// One shard's worker loop: pop own rounds, steal when idle, execute,
-/// fulfill tickets.
+/// One shard's worker loop: pop own rounds, steal when idle, execute on
+/// the shard's backend, fulfill tickets.
 fn shard_loop(
     me: usize,
     shards: &[Arc<ShardState>],
@@ -652,7 +871,7 @@ fn shard_loop(
     options: DispatchOptions,
 ) {
     let my = &shards[me];
-    let mut machine = Machine::new(*my.engine.config());
+    let mut scratch = my.backend.scratch();
     let mut costs: Vec<u64> = Vec::new();
 
     loop {
@@ -666,20 +885,23 @@ fn shard_loop(
         my.rounds.fetch_add(1, Ordering::Relaxed);
         costs.clear();
         for (request, ticket) in &round.jobs {
-            let result = my.engine.execute(&mut machine, request);
+            let result = my.backend.execute(&mut scratch, request);
             if let Ok(res) = &result {
                 costs.push(res.cycles);
                 my.dag_ops.fetch_add(res.dag_ops, Ordering::Relaxed);
             }
-            ticket.fulfill(result);
+            if let Some(ticket) = ticket {
+                ticket.fulfill(result);
+            }
             in_flight.dec();
         }
         my.requests
             .fetch_add(round.jobs.len() as u64, Ordering::Relaxed);
         if !costs.is_empty() {
-            let plan = plan_rounds(&costs, options.cores);
-            my.modelled_cycles
-                .fetch_add(plan.total_cycles, Ordering::Relaxed);
+            my.modelled_cycles.fetch_add(
+                my.backend.round_cycles(&costs, options.cores),
+                Ordering::Relaxed,
+            );
         }
     }
 }
@@ -695,7 +917,7 @@ fn next_round(me: usize, queues: &Queues, steal_class: &[usize], stealing: bool)
             return Some(round);
         }
         if stealing {
-            // Deepest backlog among shards whose config matches mine.
+            // Deepest backlog among shards whose class matches mine.
             let victim = (0..qs.len())
                 .filter(|&j| j != me && steal_class[j] == steal_class[me])
                 .max_by_key(|&j| qs[j].rounds.len())

@@ -37,6 +37,42 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Error returned by [`Submitter::submit_all`] when the dispatcher shuts
+/// down mid-batch.
+///
+/// Loss-freedom requires more than [`SubmitError`] carries: by the time a
+/// batch submission is rejected, *earlier* requests of the batch were
+/// already accepted and **will execute** — dropping their tickets (as a
+/// plain `collect::<Result<Vec<_>, _>>()` would) makes those results
+/// unreachable even though the work is done. This error hands everything
+/// back: the tickets of the accepted prefix, the first rejected request,
+/// and the never-submitted tail.
+#[derive(Debug)]
+pub struct SubmitAllError {
+    /// Completion tickets of the requests accepted before the rejection,
+    /// in submission order. Each will be fulfilled (shutdown is
+    /// loss-free); wait on them as usual.
+    pub accepted: Vec<Ticket>,
+    /// The first rejected request, handed back for retry elsewhere.
+    pub rejected: Request,
+    /// The remaining requests of the batch, never submitted.
+    pub rest: Vec<Request>,
+}
+
+impl std::fmt::Display for SubmitAllError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "submit_all on a shut-down dispatcher: {} accepted (tickets attached), \
+             1 rejected, {} never submitted",
+            self.accepted.len(),
+            self.rest.len()
+        )
+    }
+}
+
+impl std::error::Error for SubmitAllError {}
+
 /// Completion state shared between a [`Ticket`] and the shard thread that
 /// fulfills it.
 #[derive(Debug)]
@@ -214,12 +250,29 @@ impl Submitter {
     ///
     /// # Errors
     ///
-    /// [`SubmitError`] on the first rejected request; earlier requests of
-    /// the batch were already accepted and will be served.
-    pub fn submit_all<I>(&self, requests: I) -> Result<Vec<Ticket>, SubmitError>
+    /// [`SubmitAllError`] on the first rejected request. The error keeps
+    /// the loss-freedom contract intact across partial batches: it
+    /// carries the tickets of the already-accepted prefix (those requests
+    /// execute and their results stay reachable), the rejected request,
+    /// and the unsubmitted tail.
+    pub fn submit_all<I>(&self, requests: I) -> Result<Vec<Ticket>, SubmitAllError>
     where
         I: IntoIterator<Item = Request>,
     {
-        requests.into_iter().map(|r| self.submit(r)).collect()
+        let mut it = requests.into_iter();
+        let mut accepted = Vec::new();
+        for request in it.by_ref() {
+            match self.submit(request) {
+                Ok(ticket) => accepted.push(ticket),
+                Err(SubmitError(rejected)) => {
+                    return Err(SubmitAllError {
+                        accepted,
+                        rejected,
+                        rest: it.collect(),
+                    })
+                }
+            }
+        }
+        Ok(accepted)
     }
 }

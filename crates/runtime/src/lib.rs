@@ -20,10 +20,17 @@
 //!   handles feed requests continuously through a channel, rounds close
 //!   adaptively under a latency budget ([`DispatchOptions::max_wait`] /
 //!   [`DispatchOptions::max_batch`]), each request is routed to one of N
-//!   engine shards by its [`DagKey`] (warm-cache affinity) with work
+//!   shards by its [`DagKey`] (warm-cache affinity) with work
 //!   stealing when a shard backs up, and results come back through
 //!   per-request [`Ticket`] completion handles. Shutdown is deterministic
 //!   and loss-free.
+//! - [`Backend`] is the dispatcher's execution seam: a shard can be a
+//!   simulated DPU-v2 [`Engine`] **or** an analytic baseline platform
+//!   ([`BaselineBackend`] over `dpu_baselines::BaselineModel` — the
+//!   paper's CPU/GPU/DPU-v1/SPU comparison points), including *mirror*
+//!   shards that shadow the full stream ticketlessly so one run reports
+//!   live per-platform throughput/GOPS/EDP side by side
+//!   ([`DispatchReport::platforms`]).
 //! - [`plan_rounds`] packs the heterogeneous requests into rounds over
 //!   the modelled DPU-v2 (L) cores exactly the way
 //!   [`BatchResult`](dpu_sim::BatchResult) models batch wall-clock:
@@ -60,7 +67,8 @@
 //! let requests: Vec<Request> = (0..32)
 //!     .map(|i| Request::new(key, vec![i as f32, 2.0]))
 //!     .collect();
-//! let report = engine.serve(&requests)?;
+//! let report = engine.serve(&requests);
+//! assert!(report.failures.is_empty());
 //! assert_eq!(report.results.len(), 32);
 //! assert_eq!(report.cache.misses, 1); // compiled exactly once
 //! assert!(report.gops(300e6) > 0.0);
@@ -71,15 +79,19 @@
 use dpu_dag::Dag;
 use serde::{Deserialize, Serialize};
 
+pub mod backend;
 pub mod cache;
 pub mod dispatch;
 pub mod ingest;
 pub mod planner;
 pub mod pool;
 
+pub use backend::{Backend, BaselineBackend, Scratch, StealClass};
 pub use cache::{CacheKey, CacheStats, ProgramCache};
-pub use dispatch::{home_shard, DispatchOptions, DispatchReport, Dispatcher, ShardReport};
-pub use ingest::{SubmitError, Submitter, Ticket};
+pub use dispatch::{
+    home_shard, DispatchOptions, DispatchReport, Dispatcher, PlatformSummary, ShardReport,
+};
+pub use ingest::{SubmitAllError, SubmitError, Submitter, Ticket};
 pub use planner::{plan_rounds, BatchPlan, RoundPlan};
 pub use pool::{Engine, EngineOptions, Request, ServeError, ServingReport};
 

@@ -86,6 +86,10 @@ pub enum ServeError {
         /// The underlying simulator error.
         error: SimError,
     },
+    /// A backend rejected the request's inputs (arity mismatch against
+    /// the registered DAG) — raised by analytic baseline backends, which
+    /// evaluate through the reference interpreter instead of compiling.
+    Inputs(dpu_dag::DagError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -96,6 +100,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Sim { request, error } => {
                 write!(f, "request {request}: simulation failed: {error}")
             }
+            ServeError::Inputs(e) => write!(f, "inputs rejected: {e:?}"),
         }
     }
 }
@@ -109,11 +114,22 @@ impl From<CompileError> for ServeError {
 }
 
 /// Aggregate result of serving one request stream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Failures do not fate-share: a failing request lands in
+/// [`ServingReport::failures`] while its co-batched successes keep their
+/// results — the same per-request isolation the async
+/// [`Ticket`](crate::Ticket) path has always had. When `failures` is
+/// empty (the common case), `results[i]` corresponds to request `i`
+/// exactly as a serial pass would produce it.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServingReport {
-    /// Per-request results, in request order — identical to what a serial
-    /// pass over the same stream produces.
+    /// Results of the successful requests, in request order — identical
+    /// to what a serial pass over the same stream produces.
     pub results: Vec<RunResult>,
+    /// Failed requests as `(stream index, error)`, index-ascending.
+    /// Deterministic: which requests fail depends only on the stream,
+    /// never on worker interleaving.
+    pub failures: Vec<(usize, ServeError)>,
     /// Sum of all per-request activity counters.
     pub activity: Activity,
     /// Total arithmetic DAG operations served.
@@ -151,6 +167,20 @@ impl ServingReport {
             self.results.len() as f64 / self.host_seconds
         } else {
             0.0
+        }
+    }
+
+    /// `Ok(results)` when every request succeeded, else the
+    /// lowest-indexed failure — the pre-fate-sharing-fix `serve`
+    /// contract, for callers that treat any failure as fatal.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing request.
+    pub fn into_results(self) -> Result<Vec<RunResult>, ServeError> {
+        match self.failures.into_iter().next() {
+            None => Ok(self.results),
+            Some((_, e)) => Err(e),
         }
     }
 }
@@ -254,16 +284,16 @@ impl Engine {
     /// Outputs are byte-identical to [`Engine::serve_serial`] on the same
     /// stream — worker count affects only host wall-clock.
     ///
-    /// # Errors
-    ///
-    /// The error of the lowest-indexed failing request, if any (see
-    /// [`ServeError`]). Earlier successful results are discarded.
-    pub fn serve(&self, requests: &[Request]) -> Result<ServingReport, ServeError> {
+    /// Failures are isolated per request, never fate-shared across a
+    /// batch: every failing request is reported in
+    /// [`ServingReport::failures`] and every other request keeps its
+    /// result, matching the async [`Ticket`](crate::Ticket) path's
+    /// semantics.
+    pub fn serve(&self, requests: &[Request]) -> ServingReport {
         let started = Instant::now();
         let workers = self.options.workers.clamp(1, requests.len().max(1));
         let next = AtomicUsize::new(0);
-        let failure: Mutex<Option<(usize, ServeError)>> = Mutex::new(None);
-        let slots: Vec<Mutex<Option<RunResult>>> =
+        let slots: Vec<Mutex<Option<Result<RunResult, ServeError>>>> =
             requests.iter().map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
@@ -275,37 +305,26 @@ impl Engine {
                         if idx >= requests.len() {
                             break;
                         }
-                        match self.execute_one(&mut machine, idx, &requests[idx]) {
-                            Ok(result) => {
-                                *slots[idx].lock().expect("result slot poisoned") = Some(result);
-                            }
-                            Err(e) => {
-                                let mut f = failure.lock().expect("failure slot poisoned");
-                                if f.as_ref().is_none_or(|(i, _)| idx < *i) {
-                                    *f = Some((idx, e));
-                                }
-                                // Keep draining: other requests may still
-                                // succeed, and the lowest-indexed error
-                                // wins deterministically.
-                            }
-                        }
+                        let outcome = self.execute_one(&mut machine, idx, &requests[idx]);
+                        *slots[idx].lock().expect("result slot poisoned") = Some(outcome);
                     }
                 });
             }
         });
 
-        if let Some((_, e)) = failure.into_inner().expect("failure slot poisoned") {
-            return Err(e);
+        let mut results = Vec::with_capacity(requests.len());
+        let mut failures = Vec::new();
+        for (idx, slot) in slots.into_iter().enumerate() {
+            match slot
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("every request was executed")
+            {
+                Ok(result) => results.push(result),
+                Err(e) => failures.push((idx, e)),
+            }
         }
-        let results: Vec<RunResult> = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every request either succeeded or set failure")
-            })
-            .collect();
-        Ok(self.finish_report(results, workers, started))
+        self.finish_report(results, failures, workers, started)
     }
 
     /// Serves `requests` strictly serially on one reusable machine — the
@@ -321,7 +340,7 @@ impl Engine {
         for (idx, request) in requests.iter().enumerate() {
             results.push(self.execute_one(&mut machine, idx, request)?);
         }
-        Ok(self.finish_report(results, 1, started))
+        Ok(self.finish_report(results, Vec::new(), 1, started))
     }
 
     /// Executes one request on a caller-owned machine through this
@@ -361,6 +380,7 @@ impl Engine {
     fn finish_report(
         &self,
         results: Vec<RunResult>,
+        failures: Vec<(usize, ServeError)>,
         workers: usize,
         started: Instant,
     ) -> ServingReport {
@@ -374,6 +394,7 @@ impl Engine {
         }
         ServingReport {
             results,
+            failures,
             activity,
             total_dag_ops,
             plan,
@@ -428,7 +449,8 @@ mod tests {
         let reqs: Vec<Request> = (0..10)
             .map(|i| Request::new(k, vec![i as f32, 3.0]))
             .collect();
-        let report = e.serve(&reqs).unwrap();
+        let report = e.serve(&reqs);
+        assert!(report.failures.is_empty());
         assert_eq!(report.results.len(), 10);
         for (i, r) in report.results.iter().enumerate() {
             assert_eq!(r.outputs, vec![i as f32 + 3.0]);
@@ -442,12 +464,42 @@ mod tests {
     }
 
     #[test]
-    fn unknown_dag_is_an_error() {
+    fn unknown_dag_is_a_per_request_failure() {
         let e = engine();
-        let err = e
-            .serve(&[Request::new(DagKey(0xdead), vec![1.0])])
-            .unwrap_err();
-        assert_eq!(err, ServeError::UnknownDag(DagKey(0xdead)));
+        let report = e.serve(&[Request::new(DagKey(0xdead), vec![1.0])]);
+        assert!(report.results.is_empty());
+        assert_eq!(
+            report.failures,
+            vec![(0, ServeError::UnknownDag(DagKey(0xdead)))]
+        );
+        assert_eq!(
+            report.into_results(),
+            Err(ServeError::UnknownDag(DagKey(0xdead)))
+        );
+    }
+
+    #[test]
+    fn failures_do_not_fate_share_the_batch() {
+        // One bad request in the middle of a batch: every other request
+        // keeps its result, and the failure is reported with its index —
+        // the regression the old first-error-aborts `serve` had.
+        let e = engine();
+        let k = e.register(simple_dag(0));
+        let mut reqs: Vec<Request> = (0..9)
+            .map(|i| Request::new(k, vec![i as f32, 3.0]))
+            .collect();
+        reqs.insert(4, Request::new(DagKey(0xdead), vec![1.0]));
+        let report = e.serve(&reqs);
+        assert_eq!(report.results.len(), 9);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].0, 4);
+        assert!(matches!(report.failures[0].1, ServeError::UnknownDag(_)));
+        // Successes keep request order: 0..3 then 4..8 of the good stream.
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(r.outputs, vec![i as f32 + 3.0]);
+        }
+        assert_eq!(report.total_dag_ops, 9);
+        assert!(report.into_results().is_err());
     }
 
     #[test]
@@ -462,8 +514,9 @@ mod tests {
     #[test]
     fn empty_stream_is_fine() {
         let e = engine();
-        let report = e.serve(&[]).unwrap();
+        let report = e.serve(&[]);
         assert!(report.results.is_empty());
+        assert!(report.failures.is_empty());
         assert_eq!(report.plan.total_cycles, 0);
         assert_eq!(report.throughput_ops(300e6), 0.0);
     }
@@ -474,7 +527,7 @@ mod tests {
         let k = e.register(simple_dag(1));
         e.warm(k).unwrap();
         assert_eq!(e.cache_stats().misses, 1);
-        let report = e.serve(&[Request::new(k, vec![1.0, 2.0])]).unwrap();
+        let report = e.serve(&[Request::new(k, vec![1.0, 2.0])]);
         assert_eq!(report.cache.misses, 1);
         assert_eq!(report.cache.hits, 1);
     }

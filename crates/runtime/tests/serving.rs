@@ -74,7 +74,8 @@ fn threaded_serving_is_byte_identical_to_serial() {
 
     for workers in [2, 4, 7] {
         let (engine, stream) = engine_and_stream(workers);
-        let report = engine.serve(&stream).unwrap();
+        let report = engine.serve(&stream);
+        assert!(report.failures.is_empty());
         assert_eq!(report.results.len(), reference.results.len());
         for (i, (got, want)) in report
             .results
@@ -100,7 +101,8 @@ fn threaded_serving_is_byte_identical_to_serial() {
 #[test]
 fn serving_compiles_each_dag_once() {
     let (engine, stream) = engine_and_stream(4);
-    let report = engine.serve(&stream).unwrap();
+    let report = engine.serve(&stream);
+    assert!(report.failures.is_empty());
     // 4 distinct DAGs, one compile each, no matter how the 4 workers
     // raced on first touch.
     assert_eq!(report.cache.misses, 4);
@@ -160,7 +162,8 @@ fn cache_compiles_once_per_key_under_concurrent_access() {
 fn serving_matches_direct_simulation() {
     // The engine must agree with plain dpu_sim::run on every request.
     let (engine, stream) = engine_and_stream(3);
-    let report = engine.serve(&stream).unwrap();
+    let report = engine.serve(&stream);
+    assert!(report.failures.is_empty());
     let dags = workload_dags();
     for (i, req) in stream.iter().enumerate().step_by(17) {
         let which = i % dags.len();

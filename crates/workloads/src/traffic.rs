@@ -233,6 +233,67 @@ mod tests {
     }
 
     #[test]
+    fn zero_requests_is_an_empty_schedule() {
+        let s = open_loop_schedule(&TrafficParams {
+            requests: 0,
+            ..TrafficParams::default()
+        });
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn bursty_zero_burst_clamps_to_one() {
+        // `Bursty { burst: 0 }` is clamped to a burst of one, which
+        // degenerates to uniform spacing at the long-run rate — and must
+        // not divide by zero or stall the clock at t=0.
+        let zero = open_loop_schedule(&TrafficParams {
+            requests: 20,
+            rate_per_sec: 1_000.0,
+            pattern: ArrivalPattern::Bursty { burst: 0 },
+            ..TrafficParams::default()
+        });
+        let one = open_loop_schedule(&TrafficParams {
+            requests: 20,
+            rate_per_sec: 1_000.0,
+            pattern: ArrivalPattern::Bursty { burst: 1 },
+            ..TrafficParams::default()
+        });
+        let uniform = open_loop_schedule(&TrafficParams {
+            requests: 20,
+            rate_per_sec: 1_000.0,
+            pattern: ArrivalPattern::Uniform,
+            ..TrafficParams::default()
+        });
+        assert_eq!(zero, one);
+        let times = |s: &[Arrival]| s.iter().map(|a| a.at).collect::<Vec<_>>();
+        assert_eq!(times(&zero), times(&uniform));
+        assert!(zero.windows(2).all(|w| w[0].at < w[1].at));
+    }
+
+    #[test]
+    fn negative_skew_concentrates_on_high_indexed_families() {
+        // skew < 0 inverts the Zipf weights `(f+1)^-skew`: the *last*
+        // family becomes the popular one. Degenerate but well-defined —
+        // weights stay positive and normalized.
+        let base = TrafficParams {
+            requests: 3_000,
+            families: 4,
+            ..TrafficParams::default()
+        };
+        let c = counts(
+            &open_loop_schedule(&TrafficParams { skew: -3.0, ..base }),
+            4,
+        );
+        assert_eq!(c.iter().sum::<usize>(), 3_000);
+        // Weights are (f+1)^3 / 100 -> family 3 expects ~64% of traffic.
+        assert!(
+            c[3] > 1_700,
+            "skew -3.0 should concentrate on family 3: {c:?}"
+        );
+        assert!(c.windows(2).all(|w| w[0] < w[1]), "monotone: {c:?}");
+    }
+
+    #[test]
     fn zero_skew_is_roughly_uniform_and_high_skew_concentrates() {
         let base = TrafficParams {
             requests: 3_000,

@@ -1,0 +1,190 @@
+//! Multi-backend serving demo: one live request stream, every platform
+//! of the paper's §V-C comparison answering it side by side.
+//!
+//! Two parts:
+//!
+//! 1. **Mirror mode** — two DPU-v2 engine shards serve a seeded
+//!    open-loop stream (tickets, byte-identical to a serial pass) while
+//!    four analytic baseline shards (CPU, GPU, DPU-v1, SPU from
+//!    `dpu-baselines`) shadow every request through the same [`Backend`]
+//!    seam. The dispatcher report then carries live per-platform
+//!    throughput/GOPS/EDP — Table III, measured on *your* traffic
+//!    instead of the paper's offline suite.
+//! 2. **Heterogeneous primaries** — a dispatcher whose primary shards
+//!    are *different platforms* (a DPU-v2 engine and a CPU model
+//!    shard): requests route by DAG fingerprint, each ticket is
+//!    fulfilled by whichever platform owns its key, and work stealing
+//!    stays within a platform (cross-platform stealing would change
+//!    results).
+//!
+//! Run with `cargo run --release --example multi_backend`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dpu_core::energy;
+use dpu_core::prelude::*;
+use dpu_core::workloads::pc::{generate_pc, pc_inputs, PcParams};
+use dpu_core::workloads::sparse::{generate_lower_triangular, LowerTriangularParams, SpmvDag};
+use dpu_core::workloads::traffic::{open_loop_schedule, ArrivalPattern, TrafficParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dpu = Dpu::large();
+    let freq = energy::calib::FREQ_HZ;
+
+    // Two workload families and a seeded open-loop schedule over them.
+    // (Seeds chosen so the two DAG fingerprints home onto *different*
+    // shards of a 2-primary dispatcher — part 2 shows per-platform
+    // routing.)
+    let pc = generate_pc(&PcParams::with_targets(1_500, 12), 90);
+    let a = generate_lower_triangular(
+        &LowerTriangularParams {
+            dim: 140,
+            avg_nnz_per_row: 4.0,
+            band_fraction: 0.7,
+            band: 10,
+        },
+        91,
+    );
+    let spmv = SpmvDag::build(&a);
+    let schedule = open_loop_schedule(&TrafficParams {
+        requests: 400,
+        rate_per_sec: 4_000.0,
+        pattern: ArrivalPattern::Poisson,
+        families: 2,
+        skew: 0.3,
+        seed: 93,
+    });
+    let inputs_for = |family: usize, seq: usize| -> Vec<f32> {
+        if family == 0 {
+            pc_inputs(&pc, seq as u64)
+        } else {
+            let x: Vec<f32> = (0..a.dim)
+                .map(|j| 0.5 + 0.3 * (((2 * seq + j) as f32) * 0.23).cos())
+                .collect();
+            spmv.inputs(&a, &x)
+        }
+    };
+
+    // ── Part 1: DPU-v2 primaries, every baseline platform mirroring. ──
+    let dispatcher = dpu.mirrored_dispatcher(
+        DispatchOptions {
+            shards: 2,
+            max_batch: 24,
+            max_wait: Duration::from_micros(500),
+            ..Default::default()
+        },
+        &[
+            BaselineModel::cpu(),
+            BaselineModel::gpu(),
+            BaselineModel::dpu_v1(),
+            BaselineModel::spu(),
+        ],
+    );
+    let keys = [
+        dispatcher.register(pc.clone()),
+        dispatcher.register(spmv.dag.clone()),
+    ];
+    let submitter = dispatcher.submitter();
+    let tickets: Vec<Ticket> = schedule
+        .iter()
+        .map(|arr| {
+            submitter.submit(Request::new(
+                keys[arr.family],
+                inputs_for(arr.family, arr.seq),
+            ))
+        })
+        .collect::<Result<_, _>>()?;
+    dispatcher.drain();
+    let mut total_cycles = 0u64;
+    let mut total_pj = 0.0f64;
+    for t in tickets {
+        let r = t.wait()?;
+        total_pj += energy::energy_pj(&dpu.config, &r.activity, r.cycles);
+        total_cycles += r.cycles;
+    }
+    // The DPU's power is activity-dependent; derive the average from the
+    // energy model so its row gets an EDP like the flat-power baselines.
+    let dpu_power_w = total_pj * 1e-12 / (total_cycles as f64 / freq).max(1e-30);
+    let report = dispatcher.shutdown();
+
+    println!("== live DPU-vs-baseline comparison ==");
+    println!(
+        "submitted / served / mirrored : {} / {} / {}",
+        report.submitted, report.served, report.mirrored
+    );
+    println!("total DPU request cycles      : {total_cycles}");
+    println!(
+        "\n{:<8} {:>6} {:>9} {:>12} {:>10} {:>9} {:>12}",
+        "platform", "shards", "requests", "GOPS", "power W", "EDP", "role"
+    );
+    for mut p in report.platforms() {
+        if p.platform == "dpu_v2" && p.power_w.is_none() {
+            p.power_w = Some(dpu_power_w);
+        }
+        let edp = p
+            .edp_pj_ns(freq)
+            .map_or("-".to_string(), |e| format!("{e:.1}"));
+        let power = p.power_w.map_or("-".to_string(), |w| format!("{w:.2}"));
+        println!(
+            "{:<8} {:>6} {:>9} {:>12.3} {:>10} {:>9} {:>12}",
+            p.platform,
+            p.shards,
+            p.requests,
+            p.gops(freq),
+            power,
+            edp,
+            if p.mirror { "mirror" } else { "primary" }
+        );
+    }
+
+    // ── Part 2: heterogeneous primaries — different platforms serving
+    // tickets for the same stream, routed by DAG fingerprint. ──
+    let engine = dpu.engine(EngineOptions {
+        workers: 1,
+        cores: 8,
+        cache_capacity: None,
+    });
+    let cpu_shard = BaselineBackend::new(BaselineModel::cpu(), freq);
+    let het = Dispatcher::with_backends(
+        vec![
+            Arc::new(engine) as Arc<dyn Backend>,
+            Arc::new(cpu_shard) as Arc<dyn Backend>,
+        ],
+        Vec::new(),
+        DispatchOptions {
+            max_batch: 16,
+            max_wait: Duration::from_micros(500),
+            ..Default::default()
+        },
+    );
+    let keys = [het.register(pc.clone()), het.register(spmv.dag.clone())];
+    let submitter = het.submitter();
+    let requests: Vec<Request> = schedule
+        .iter()
+        .take(100)
+        .map(|arr| Request::new(keys[arr.family], inputs_for(arr.family, arr.seq)))
+        .collect();
+    let tickets = submitter.submit_all(requests).map_err(|e| e.to_string())?;
+    for t in tickets {
+        // Whichever platform owns this request's key produced the result.
+        assert!(!t.wait()?.outputs.is_empty());
+    }
+    let het_report = het.shutdown();
+    println!("\n== heterogeneous primaries (routing by DAG key) ==");
+    for s in &het_report.shards {
+        println!(
+            "{:<8} served {:>4} requests in {:>3} rounds ({} stolen — cross-platform stealing is impossible)",
+            s.platform, s.requests, s.rounds, s.stolen_rounds
+        );
+    }
+    assert!(
+        het_report.shards.iter().all(|s| s.stolen_rounds == 0),
+        "distinct platforms must never steal from each other"
+    );
+    assert!(
+        het_report.shards.iter().all(|s| s.requests > 0),
+        "both platforms own traffic (the seeds split the DAG keys)"
+    );
+    Ok(())
+}

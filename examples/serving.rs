@@ -45,7 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
 
-    let report = engine.serve(&requests)?;
+    let report = engine.serve(&requests);
+    assert!(report.failures.is_empty(), "no request failed");
 
     let freq = energy::calib::FREQ_HZ;
     println!("\n== serving report ==");
@@ -77,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Serving again with a warm cache: zero compiles.
     let before = report.cache.misses;
-    let warm = engine.serve(&requests)?;
+    let warm = engine.serve(&requests);
     assert_eq!(warm.cache.misses, before, "warm batch must not compile");
     println!(
         "\nwarm second batch    : {:.1} ms ({} new compiles)",
