@@ -1,7 +1,7 @@
 //! Async sharded serving benchmark — the continuous-ingestion counterpart
 //! of `serving_throughput`, and the source of CI's `BENCH_serving.json`.
 //!
-//! Four phases over the same 600-request, 3-family mixed stream:
+//! Five phases over the same 600-request, 3-family mixed stream:
 //!
 //! 1. **Gated phase** (deterministic): a 4-shard dispatcher with work
 //!    stealing off and an effectively infinite latency budget serves the
@@ -28,11 +28,20 @@
 //!    a fresh `Machine` per request (the old allocating hot path) vs one
 //!    reused machine (`Machine::reset` + per-machine scratch buffers) —
 //!    the before/after of the simulator hot-path optimization.
+//! 5. **Cache persistence** (deterministic, gated): a cold engine over an
+//!    empty spill directory serves the stream (compiling and spilling
+//!    each family once), then a **restarted** engine over the same
+//!    directory serves it again — the `cache_persist` section records the
+//!    warm-restart hit rate (gated at 1.0: a restart must never compile)
+//!    and the peer pre-warm count (`Engine::prewarm` loading every
+//!    program before traffic). Warm results are verified byte-identical
+//!    to the cold ones and to the serial reference.
 //!
 //! Every serving phase's outputs are verified byte-identical against a
 //! serial reference pass. Run with
 //! `cargo run --release -p dpu-bench --bin async_serving --
-//! [--json <path>] [--baseline <cpu|gpu|dpu_v1|spu>]...`.
+//! [--json <path>] [--baseline <cpu|gpu|dpu_v1|spu>]...
+//! [--spill <dir>]`.
 
 use std::time::{Duration, Instant};
 
@@ -139,6 +148,44 @@ fn baseline_flags() -> Vec<BaselineModel> {
                 .unwrap_or_else(|| panic!("unknown baseline `{n}` (cpu|gpu|dpu_v1|spu)"))
         })
         .collect()
+}
+
+/// `--spill <dir>` / `--spill=<dir>`: where the persistence phase keeps
+/// its spill files (CI uploads this directory as an artifact). Defaults
+/// to a per-process temp-dir location (unique so concurrent invocations
+/// never clobber one another mid-phase).
+///
+/// The cold phase needs a cold start, so existing **spill files** in the
+/// directory are removed — only `*.dpuc` and leftover spill temp files,
+/// never the directory tree: an operator pointing `--spill` at a real
+/// (or mistyped) path must not lose unrelated data to a benchmark.
+fn spill_flag() -> std::path::PathBuf {
+    let mut args = std::env::args().skip(1);
+    let mut dir = None;
+    while let Some(arg) = args.next() {
+        if arg == "--spill" {
+            dir = Some(args.next().expect("usage: --spill <dir>"));
+        } else if let Some(v) = arg.strip_prefix("--spill=") {
+            dir = Some(v.to_string());
+        }
+    }
+    let dir = dir.map_or_else(
+        || std::env::temp_dir().join(format!("dpu_async_serving_spill_{}", std::process::id())),
+        std::path::PathBuf::from,
+    );
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.extension().and_then(|e| e.to_str()) == Some("dpuc")
+                || name.starts_with(".tmp-")
+            {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+    dir
 }
 
 #[allow(clippy::too_many_lines)]
@@ -340,6 +387,54 @@ fn main() {
     }
     let reused_seconds = t1.elapsed().as_secs_f64();
 
+    // Phase 5: cache persistence. Cold engine over an empty spill dir
+    // (compiles once per family, spills each program), then a restarted
+    // engine over the same dir (must serve with zero compiles), then a
+    // peer shard pre-warming every program before traffic. All outputs
+    // verified byte-identical to the serial reference, so spilled-and-
+    // reloaded programs provably equal freshly compiled ones.
+    let spill_dir = spill_flag();
+    let persist_opts = EngineOptions {
+        spill_dir: Some(spill_dir.clone()),
+        ..Default::default()
+    };
+    let serve_and_verify = |engine: &Engine, label: &str| {
+        let keys: Vec<DagKey> = fams
+            .iter()
+            .map(|f| engine.register(f.dag.clone()))
+            .collect();
+        let stream: Vec<Request> = (0..REQUESTS).map(|i| build_request(&keys, i)).collect();
+        let report = engine.serve(&stream);
+        assert!(report.failures.is_empty(), "{label}: failures");
+        for (i, r) in report.results.iter().enumerate() {
+            assert_identical(r, &reference.results[i], &format!("{label} request {i}"));
+        }
+    };
+    let cold_engine = dpu.engine(persist_opts.clone());
+    serve_and_verify(&cold_engine, "cold");
+    let cold_stats = cold_engine.cache_stats();
+    assert_eq!(
+        cold_stats.spill_writes,
+        fams.len() as u64,
+        "every cold compile spilled"
+    );
+    drop(cold_engine);
+    let warm_engine = dpu.engine(persist_opts.clone());
+    serve_and_verify(&warm_engine, "warm-restart");
+    let warm_stats = warm_engine.cache_stats();
+    assert_eq!(warm_stats.misses, 0, "a warm restart must not compile");
+    drop(warm_engine);
+    let peer_engine = dpu.engine(persist_opts);
+    let prewarm_loaded = peer_engine.prewarm();
+    assert_eq!(
+        prewarm_loaded,
+        fams.len(),
+        "peer pre-warm loads every spilled program"
+    );
+    serve_and_verify(&peer_engine, "pre-warmed peer");
+    let peer_stats = peer_engine.cache_stats();
+    assert_eq!(peer_stats.misses, 0, "a pre-warmed shard must not compile");
+
     let shard_arr = |r: &DispatchReport| {
         Json::Arr(
             r.shards
@@ -375,6 +470,22 @@ fn main() {
         .field("verified", true)
         // Live multi-backend comparison (machine-independent, gated).
         .field("baseline_compare", baseline_compare)
+        // Cache persistence: warm-restart + peer pre-warm over a spill
+        // dir (machine-independent; warm_restart_hit_rate is gated).
+        .field(
+            "cache_persist",
+            Json::obj()
+                .field("requests", REQUESTS)
+                .field("families", fams.len())
+                .field("cold_compiles", cold_stats.misses)
+                .field("spill_writes", cold_stats.spill_writes)
+                .field("spill_rejects", warm_stats.spill_rejects)
+                .field("warm_restart_hit_rate", warm_stats.hit_rate())
+                .field("warm_restart_compiles", warm_stats.misses)
+                .field("warm_spill_loads", warm_stats.spill_hits)
+                .field("prewarm_loaded", prewarm_loaded)
+                .field("verified", true),
+        )
         // Host-side observability (machine-dependent, not gated).
         .field("host_seconds", gated_host_seconds)
         .field("host_rps", REQUESTS as f64 / gated_host_seconds.max(1e-9))
@@ -386,6 +497,10 @@ fn main() {
                 .field("arrival", "poisson")
                 .field("offered_rps", 3_000.0)
                 .field("host_seconds", open_host_seconds)
+                // The dispatcher's own clocks: serving window (first
+                // accept → last completion) vs construction → shutdown.
+                .field("serving_window_seconds", open_report.host_seconds)
+                .field("lifetime_seconds", open_report.lifetime_seconds)
                 .field("rounds_closed_full", open_report.rounds_closed_full)
                 .field("rounds_closed_timer", open_report.rounds_closed_timer)
                 .field("rounds_closed_flush", open_report.rounds_closed_flush)

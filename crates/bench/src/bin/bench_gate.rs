@@ -21,6 +21,10 @@
 //!   tolerance on them is meaningless — 0.995 → 0.90 is a 20× miss
 //!   increase yet under a 10% hit-rate change. A perfect baseline
 //!   (zero misses) fails on *any* current miss.
+//! - The persistence phase's `cache_persist.warm_restart_hit_rate` is
+//!   gated the same way: the committed baseline is a perfect 1.0 (a
+//!   restarted engine recompiles nothing), so any compile on a warm
+//!   restart fails the gate.
 //!
 //! Usage:
 //! `cargo run --release -p dpu-bench --bin bench_gate -- \
@@ -101,9 +105,10 @@ fn gate_higher_better(key: &str, current: f64, baseline: f64, tol: f64) -> bool 
     failed
 }
 
-/// The cache-health check, on miss rate (lower is better). Returns `true`
-/// on failure.
-fn gate_miss_rate(current_hit: f64, baseline_hit: f64, tol: f64) -> bool {
+/// A cache-health check, on miss rate (lower is better). Returns `true`
+/// on failure. `key` names the metric in the output (the in-memory cache
+/// and the warm-restart persistence phase are both gated this way).
+fn gate_miss_rate(key: &str, current_hit: f64, baseline_hit: f64, tol: f64) -> bool {
     let (mc, mb) = (1.0 - current_hit, 1.0 - baseline_hit);
     let (failed, verdict) = if mb <= 0.0 {
         // The baseline cache was perfect; any miss is a collapse from
@@ -126,7 +131,7 @@ fn gate_miss_rate(current_hit: f64, baseline_hit: f64, tol: f64) -> bool {
         (v == "FAIL", format!("({:+.1}%) … {v}", change * 100.0))
     };
     println!(
-        "bench-gate: cache_miss_rate: current {mc:.4} vs baseline {mb:.4} \
+        "bench-gate: {key}: current {mc:.4} vs baseline {mb:.4} \
          (hit {current_hit:.4} vs {baseline_hit:.4}) {verdict}"
     );
     failed
@@ -168,10 +173,36 @@ fn run() -> Result<(), String> {
 
     // Cache health, gated on miss rate (see module docs).
     failed |= gate_miss_rate(
+        "cache_miss_rate",
         num(&current, "cache_hit_rate", &args.current)?,
         num(&baseline, "cache_hit_rate", &args.baseline)?,
         tol,
     );
+
+    // Cache persistence: the warm-restart phase is deterministic, so its
+    // hit rate is gated exactly like the in-memory cache — and since the
+    // committed baseline is perfect (1.0), *any* compile on a warm
+    // restart fails the gate.
+    if let Some(base_persist) = baseline.get("cache_persist") {
+        let cur_persist = current.get("cache_persist").ok_or_else(|| {
+            format!(
+                "{}: cache_persist section missing (baseline has it)",
+                args.current
+            )
+        })?;
+        if cur_persist.get("verified").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "{}: cache_persist.verified is not true",
+                args.current
+            ));
+        }
+        failed |= gate_miss_rate(
+            "cache_persist.warm_restart_miss_rate",
+            num(cur_persist, "warm_restart_hit_rate", &args.current)?,
+            num(base_persist, "warm_restart_hit_rate", &args.baseline)?,
+            tol,
+        );
+    }
 
     // Multi-backend comparison: every platform the baseline knows must
     // still be reported, with its deterministic throughput intact.

@@ -107,6 +107,7 @@ fn main() {
         workers: WORKERS,
         cores: runtime::DPU_V2_L_CORES,
         cache_capacity: None,
+        spill_dir: None,
     };
     let fams = families();
     let family_names: Vec<&str> = {
@@ -116,7 +117,7 @@ fn main() {
     };
 
     // Threaded serving pass.
-    let engine = dpu.engine(opts);
+    let engine = dpu.engine(opts.clone());
     let stream = build_stream(&engine, &fams);
     let report = engine.serve(&stream);
     assert!(report.failures.is_empty(), "serving succeeds");

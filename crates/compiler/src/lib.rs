@@ -51,6 +51,7 @@
 pub mod emit;
 pub mod finalize;
 pub mod footprint;
+pub mod persist;
 pub mod reorder;
 pub mod spill;
 pub mod step1;
@@ -61,5 +62,6 @@ mod ir;
 
 pub use driver::{compile, compile_binary, CompileError, CompileOptions, CompileStats, Compiled};
 pub use ir::{AInstr, BankAssignment, Block, ConflictStats, DataLayout, PlacedNode, Subgraph};
+pub use persist::PersistError;
 pub use spill::SpillPolicy;
 pub use step2::BankPolicy;

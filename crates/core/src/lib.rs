@@ -62,9 +62,9 @@ pub mod prelude {
     pub use dpu_energy::Metrics;
     pub use dpu_isa::{ArchConfig, Topology};
     pub use dpu_runtime::{
-        Backend, BaselineBackend, DagKey, DispatchOptions, DispatchReport, Dispatcher, Engine,
-        EngineOptions, PlatformSummary, Request, ServingReport, StealClass, SubmitAllError,
-        Submitter, Ticket,
+        Backend, BaselineBackend, CacheStats, DagKey, DispatchOptions, DispatchReport, Dispatcher,
+        Engine, EngineOptions, PlatformSummary, ProgramCache, Request, ServingReport, SpillStore,
+        StealClass, SubmitAllError, Submitter, Ticket,
     };
     pub use dpu_sim::{RunResult, VerifyReport};
 }
@@ -178,9 +178,10 @@ impl Dpu {
             workers: 1,
             cores: options.cores,
             cache_capacity: options.cache_capacity,
+            spill_dir: options.spill_dir.clone(),
         };
         let primaries: Vec<Arc<dyn Backend>> = (0..options.shards)
-            .map(|_| Arc::new(self.engine(engine_opts)) as Arc<dyn Backend>)
+            .map(|_| Arc::new(self.engine(engine_opts.clone())) as Arc<dyn Backend>)
             .collect();
         let mirrors: Vec<Arc<dyn Backend>> = baselines
             .iter()

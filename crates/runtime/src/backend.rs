@@ -101,6 +101,14 @@ pub trait Backend: Send + Sync {
     fn cache_stats(&self) -> CacheStats {
         CacheStats::default()
     }
+
+    /// Back-fills the backend's program cache from persistent storage
+    /// (a spill directory a peer or a previous run populated), returning
+    /// the number of programs loaded. Default: nothing to warm. See
+    /// [`Engine::prewarm`].
+    fn prewarm(&self) -> usize {
+        0
+    }
 }
 
 /// The simulated DPU-v2 backend: an [`Engine`] *is* a backend. Scratch is
@@ -136,6 +144,10 @@ impl Backend for Engine {
 
     fn cache_stats(&self) -> CacheStats {
         Engine::cache_stats(self)
+    }
+
+    fn prewarm(&self) -> usize {
+        Engine::prewarm(self)
     }
 }
 
@@ -289,7 +301,7 @@ mod tests {
             EngineOptions {
                 workers: 1,
                 cores: 4,
-                cache_capacity: None,
+                ..Default::default()
             },
         );
         let backend: &dyn Backend = &engine;

@@ -1,4 +1,5 @@
-//! Concurrent compile-once program cache.
+//! Concurrent compile-once program cache, with optional disk spill for
+//! warm restarts.
 //!
 //! Compilation dominates the cost of serving a DAG the first time it is
 //! seen (milliseconds, vs microseconds to simulate small programs), so
@@ -13,14 +14,32 @@
 //! holding just that slot's lock, so (a) a program is compiled **exactly
 //! once** per distinct key no matter how many threads race on it, and
 //! (b) compiling one DAG never blocks serving a different one.
+//!
+//! # Persistence
+//!
+//! A cache built over a [`SpillStore`] additionally writes every freshly
+//! compiled program to a content-addressed file in the spill directory
+//! and, on a lookup miss, checks the store **before** compiling. Keys are
+//! content hashes, so the fleet's compile work is shared through the
+//! filesystem: an engine restarted over the same directory starts warm
+//! (its first lookups back-fill from disk and count as hits, not
+//! compiles), and a freshly added shard can [`ProgramCache::prewarm`]
+//! from a peer's spill before taking traffic. Spill files carry a
+//! version, a checksum, the cache key, and a compiler-options
+//! fingerprint; anything stale, truncated, corrupt, or compiled with
+//! different options is **rejected** (counted in
+//! [`CacheStats::spill_rejects`]) and the cache falls back to compiling —
+//! a spill file is an optimization, never a source of truth.
 
 use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use dpu_compiler::{compile, CompileError, CompileOptions, Compiled};
 use dpu_dag::Dag;
-use dpu_isa::ArchConfig;
+use dpu_isa::{ArchConfig, Topology};
 use serde::{Deserialize, Serialize};
 
 use crate::DagKey;
@@ -29,7 +48,9 @@ use crate::DagKey;
 ///
 /// The compiler options are deliberately *not* part of the key — a cache
 /// is constructed with one [`CompileOptions`] and every entry uses it,
-/// mirroring how a deployed engine pins one compiler configuration.
+/// mirroring how a deployed engine pins one compiler configuration. (The
+/// spill layer, which *can* outlive one cache, fingerprints the options
+/// in every file instead.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Structural fingerprint of the DAG.
@@ -43,7 +64,7 @@ pub struct CacheKey {
 pub struct CacheStats {
     /// Lookups that found a compiled program (including threads that
     /// waited on a concurrent compile of the same key rather than
-    /// duplicating it).
+    /// duplicating it, and lookups back-filled from the spill store).
     pub hits: u64,
     /// Lookups that compiled — exactly one per distinct key unless an
     /// entry was evicted and re-requested.
@@ -52,6 +73,16 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Programs loaded from the spill store instead of compiled — lookup
+    /// back-fills (which also count as [`CacheStats::hits`]) plus
+    /// [`ProgramCache::prewarm`] loads (which are not lookups and touch
+    /// neither `hits` nor `misses`).
+    pub spill_hits: u64,
+    /// Freshly compiled programs written to the spill store.
+    pub spill_writes: u64,
+    /// Spill files rejected as stale, truncated, corrupt, or compiled
+    /// with different options (the cache compiled instead).
+    pub spill_rejects: u64,
 }
 
 impl CacheStats {
@@ -64,6 +95,288 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+/// Version of the spill-file wrapper around the compiler's
+/// [`Compiled::to_bytes`] blob. Bump on any wrapper change; mismatched
+/// files are rejected, never reinterpreted.
+const SPILL_VERSION: u32 = 1;
+
+const SPILL_MAGIC: [u8; 4] = *b"DPUS";
+
+/// File extension of spill files.
+pub const SPILL_EXT: &str = "dpuc";
+
+/// Outcome of a [`SpillStore::load`].
+#[derive(Debug)]
+pub enum SpillLookup {
+    /// The store had a valid program for the key.
+    Loaded(Box<Compiled>),
+    /// No spill file exists for the key.
+    Absent,
+    /// A file exists but failed validation (wrong magic/version/key/
+    /// options, truncation, corruption) — the caller must compile. The
+    /// reason is carried for diagnostics.
+    Rejected(String),
+}
+
+/// A content-addressed on-disk store of compiled programs — the
+/// persistence layer under [`ProgramCache`].
+///
+/// Each program lives in its own file named after its [`CacheKey`]
+/// (DAG fingerprint + architecture point), so a directory can be shared
+/// freely: between restarts of one engine (warm restart), between the
+/// shards of a dispatcher, or copied to a new machine to pre-warm a
+/// scale-out shard. Writes go through a unique temporary file followed
+/// by an atomic rename, so concurrent writers (or a reader racing a
+/// writer) never observe a partial file.
+///
+/// Every file records the cache key it serves and a fingerprint of the
+/// [`CompileOptions`] it was compiled with; [`SpillStore::load`] rejects
+/// anything that does not match exactly, on top of the compiler codec's
+/// own version and checksum validation ([`Compiled::from_bytes`]).
+pub struct SpillStore {
+    dir: PathBuf,
+    options_tag: u64,
+}
+
+impl std::fmt::Debug for SpillStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillStore")
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Stable fingerprint of the compiler options a spill was produced with.
+/// Programs compiled with different options are different programs; the
+/// tag keeps one shared directory from poisoning caches pinned to other
+/// options.
+fn options_fingerprint(options: &CompileOptions) -> u64 {
+    // Exhaustive destructuring (no `..`): adding a field to
+    // `CompileOptions` breaks this build until the fingerprint covers
+    // it — a codegen-affecting option silently excluded here would let
+    // one fleet serve another fleet's differently-compiled programs.
+    let CompileOptions {
+        window,
+        spill_policy,
+        partition_threshold,
+        bank_policy,
+        seed,
+    } = options;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(*window as u64);
+    mix(match spill_policy {
+        dpu_compiler::SpillPolicy::FurthestNextUse => 0,
+        dpu_compiler::SpillPolicy::NearestNextUse => 1,
+        dpu_compiler::SpillPolicy::Arbitrary => 2,
+    });
+    mix(*partition_threshold as u64);
+    mix(match bank_policy {
+        dpu_compiler::BankPolicy::ConflictAware => 0,
+        dpu_compiler::BankPolicy::Random => 1,
+    });
+    mix(*seed);
+    h
+}
+
+/// The spill wrapper's topology byte — the compiler codec's tag
+/// ([`dpu_compiler::persist`] owns the `Topology` ↔ byte mapping so the
+/// two formats can never drift apart).
+fn topology_tag(t: Topology) -> u8 {
+    dpu_compiler::persist::topology_tag(t)
+}
+
+fn write_key(out: &mut Vec<u8>, key: &CacheKey) {
+    out.extend_from_slice(&key.dag.0.to_le_bytes());
+    out.extend_from_slice(&key.config.depth.to_le_bytes());
+    out.extend_from_slice(&key.config.banks.to_le_bytes());
+    out.extend_from_slice(&key.config.regs_per_bank.to_le_bytes());
+    out.push(topology_tag(key.config.topology));
+    out.extend_from_slice(&key.config.data_mem_rows.to_le_bytes());
+}
+
+/// Byte length of the spill header: magic + version + key + options tag.
+const SPILL_HEADER_LEN: usize = 4 + 4 + (8 + 4 + 4 + 4 + 1 + 4) + 8;
+
+/// Parses a spill header, returning `(key, options_tag)` or a rejection
+/// reason. The key's config is validated through [`ArchConfig`]'s own
+/// constructor so a corrupt header can never mint an impossible config.
+fn parse_header(bytes: &[u8]) -> Result<(CacheKey, u64), String> {
+    if bytes.len() < SPILL_HEADER_LEN {
+        return Err("spill header truncated".into());
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+    let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+    if bytes[0..4] != SPILL_MAGIC {
+        return Err("bad spill magic".into());
+    }
+    let version = u32_at(4);
+    if version != SPILL_VERSION {
+        return Err(format!(
+            "spill version {version} (this build reads {SPILL_VERSION})"
+        ));
+    }
+    let dag = DagKey(u64_at(8));
+    let topology =
+        dpu_compiler::persist::topology_from_tag(bytes[28]).map_err(|e| e.to_string())?;
+    let mut config = ArchConfig::with_topology(u32_at(16), u32_at(20), u32_at(24), topology)
+        .map_err(|e| format!("spill header config: {e}"))?;
+    config.data_mem_rows = u32_at(29);
+    Ok((CacheKey { dag, config }, u64_at(33)))
+}
+
+impl SpillStore {
+    /// Opens (creating if needed) a spill directory for programs compiled
+    /// with `options`.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the I/O error if the directory cannot be created.
+    pub fn new(dir: impl Into<PathBuf>, options: &CompileOptions) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SpillStore {
+            dir,
+            options_tag: options_fingerprint(options),
+        })
+    }
+
+    /// The directory this store spills into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Content-addressed file path of `key`. The compiler-options
+    /// fingerprint is part of the address: caches pinned to different
+    /// options coexist in one shared directory instead of perpetually
+    /// overwriting (and then rejecting) each other's spills.
+    pub fn path_for(&self, key: &CacheKey) -> PathBuf {
+        let c = &key.config;
+        self.dir.join(format!(
+            "{:016x}-d{}b{}r{}t{}m{}-o{:016x}.{SPILL_EXT}",
+            key.dag.0,
+            c.depth,
+            c.banks,
+            c.regs_per_bank,
+            topology_tag(c.topology),
+            c.data_mem_rows,
+            self.options_tag,
+        ))
+    }
+
+    /// Loads and validates the spilled program for `key`, if any. Every
+    /// failure mode short of "file does not exist" is a *rejection*: the
+    /// caller compiles instead and the file is left for diagnostics.
+    pub fn load(&self, key: &CacheKey) -> SpillLookup {
+        let path = self.path_for(key);
+        let mut bytes = Vec::new();
+        match std::fs::File::open(&path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return SpillLookup::Absent,
+            Err(e) => return SpillLookup::Rejected(format!("{}: {e}", path.display())),
+            Ok(mut f) => {
+                if let Err(e) = f.read_to_end(&mut bytes) {
+                    return SpillLookup::Rejected(format!("{}: {e}", path.display()));
+                }
+            }
+        }
+        let (file_key, tag) = match parse_header(&bytes) {
+            Ok(h) => h,
+            Err(why) => return SpillLookup::Rejected(why),
+        };
+        if file_key != *key {
+            return SpillLookup::Rejected("spill file serves a different cache key".into());
+        }
+        if tag != self.options_tag {
+            return SpillLookup::Rejected("spill compiled with different compiler options".into());
+        }
+        match Compiled::from_bytes(&bytes[SPILL_HEADER_LEN..]) {
+            Ok(compiled) if compiled.program.config == key.config => {
+                SpillLookup::Loaded(Box::new(compiled))
+            }
+            Ok(_) => SpillLookup::Rejected("spilled program config mismatch".into()),
+            Err(e) => SpillLookup::Rejected(e.to_string()),
+        }
+    }
+
+    /// Writes `compiled` as the spill for `key`, atomically (temp file +
+    /// rename), so concurrent readers and writers over a shared directory
+    /// never see partial files.
+    ///
+    /// # Errors
+    ///
+    /// Forwards I/O errors; the cache treats spilling as best-effort.
+    pub fn store(&self, key: &CacheKey, compiled: &Compiled) -> std::io::Result<()> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SPILL_MAGIC);
+        bytes.extend_from_slice(&SPILL_VERSION.to_le_bytes());
+        write_key(&mut bytes, key);
+        bytes.extend_from_slice(&self.options_tag.to_le_bytes());
+        bytes.extend_from_slice(&compiled.to_bytes());
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        drop(f);
+        let result = std::fs::rename(&tmp, self.path_for(key));
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// Scans the directory and returns the cache key of every spill file
+    /// whose header matches this store's compiler options. Unreadable or
+    /// foreign files are skipped — scanning never fails a serving path.
+    pub fn keys(&self) -> Vec<CacheKey> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(SPILL_EXT) {
+                continue;
+            }
+            let mut header = vec![0u8; SPILL_HEADER_LEN];
+            let ok = std::fs::File::open(&path)
+                .and_then(|mut f| f.read_exact(&mut header))
+                .is_ok();
+            if !ok {
+                continue;
+            }
+            if let Ok((key, tag)) = parse_header(&header) {
+                if tag == self.options_tag {
+                    out.push(key);
+                }
+            }
+        }
+        // Deterministic order regardless of directory iteration order
+        // (every config field participates, so keys differing only in
+        // topology or memory size still sort stably).
+        out.sort_by_key(|k| {
+            (
+                k.dag,
+                k.config.depth,
+                k.config.banks,
+                k.config.regs_per_bank,
+                topology_tag(k.config.topology),
+                k.config.data_mem_rows,
+            )
+        });
+        out
     }
 }
 
@@ -85,11 +398,18 @@ struct Slot {
 pub struct ProgramCache {
     options: CompileOptions,
     capacity: usize,
+    spill: Option<SpillStore>,
     map: RwLock<HashMap<CacheKey, Arc<Slot>>>,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    spill_hits: AtomicU64,
+    spill_writes: AtomicU64,
+    spill_rejects: AtomicU64,
+    /// Reason of the most recent spill rejection, for diagnostics
+    /// ([`ProgramCache::last_spill_reject`]).
+    last_reject: Mutex<Option<String>>,
 }
 
 impl std::fmt::Debug for ProgramCache {
@@ -104,7 +424,7 @@ impl std::fmt::Debug for ProgramCache {
 impl ProgramCache {
     /// An unbounded cache compiling with `options`.
     pub fn new(options: CompileOptions) -> Self {
-        Self::with_capacity(options, usize::MAX)
+        Self::with_store(options, None, None)
     }
 
     /// A cache holding at most `capacity` programs; the least recently
@@ -114,21 +434,63 @@ impl ProgramCache {
     ///
     /// Panics if `capacity == 0`.
     pub fn with_capacity(options: CompileOptions, capacity: usize) -> Self {
+        Self::with_store(options, Some(capacity), None)
+    }
+
+    /// The fully general constructor: optional capacity bound (`None` =
+    /// unbounded) and optional [`SpillStore`] persistence. With a store,
+    /// misses check the spill directory before compiling and fresh
+    /// compiles are spilled back — see the [module docs](self).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == Some(0)`.
+    pub fn with_store(
+        options: CompileOptions,
+        capacity: Option<usize>,
+        spill: Option<SpillStore>,
+    ) -> Self {
+        let capacity = capacity.unwrap_or(usize::MAX);
         assert!(capacity > 0, "cache capacity must be positive");
         ProgramCache {
             options,
             capacity,
+            spill,
             map: RwLock::new(HashMap::new()),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            spill_hits: AtomicU64::new(0),
+            spill_writes: AtomicU64::new(0),
+            spill_rejects: AtomicU64::new(0),
+            last_reject: Mutex::new(None),
         }
     }
 
     /// The compiler options every entry is compiled with.
     pub fn options(&self) -> &CompileOptions {
         &self.options
+    }
+
+    /// The spill store this cache persists through, if any.
+    pub fn spill_store(&self) -> Option<&SpillStore> {
+        self.spill.as_ref()
+    }
+
+    /// Why the most recent spill file was rejected, if any ever was —
+    /// the operator-facing answer to a non-zero
+    /// [`CacheStats::spill_rejects`].
+    pub fn last_spill_reject(&self) -> Option<String> {
+        self.last_reject
+            .lock()
+            .expect("reject note poisoned")
+            .clone()
+    }
+
+    fn note_reject(&self, why: String) {
+        self.spill_rejects.fetch_add(1, Ordering::Relaxed);
+        *self.last_reject.lock().expect("reject note poisoned") = Some(why);
     }
 
     /// Returns the compiled program for `(key, config)`, compiling `dag`
@@ -159,18 +521,96 @@ impl ProgramCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(compiled));
         }
-        // Slow path: the first thread through the compile lock compiles;
-        // concurrent callers for the same key block here, then find the
-        // slot filled and count as hits (they did not compile).
+        // Slow path: the first thread through the compile lock fills the
+        // slot — from the spill store when a valid file exists, else by
+        // compiling; concurrent callers for the same key block here, then
+        // find the slot filled and count as hits (they did not compile).
         let _compiling = slot.compile_lock.lock().expect("compile lock poisoned");
         if let Some(compiled) = slot.compiled.read().expect("cache slot poisoned").as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(compiled));
         }
+        if let Some(store) = &self.spill {
+            match store.load(&key) {
+                SpillLookup::Loaded(compiled) => {
+                    // Served without compiling: a hit, back-filled from
+                    // disk (this is what makes a restart warm).
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.spill_hits.fetch_add(1, Ordering::Relaxed);
+                    let compiled = Arc::new(*compiled);
+                    *slot.compiled.write().expect("cache slot poisoned") =
+                        Some(Arc::clone(&compiled));
+                    return Ok(compiled);
+                }
+                SpillLookup::Rejected(why) => {
+                    self.note_reject(why);
+                }
+                SpillLookup::Absent => {}
+            }
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let compiled = Arc::new(compile(dag, config, &self.options)?);
         *slot.compiled.write().expect("cache slot poisoned") = Some(Arc::clone(&compiled));
+        if let Some(store) = &self.spill {
+            // Best-effort: a failed spill write costs a future cold
+            // compile, never a serving error.
+            if store.store(&key, &compiled).is_ok() {
+                self.spill_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         Ok(compiled)
+    }
+
+    /// Back-fills the in-memory cache from the spill store: every spilled
+    /// program for `config` (up to the capacity bound) is loaded without
+    /// waiting for a request to miss on it. Returns the number of
+    /// programs loaded.
+    ///
+    /// This is the scale-out path: point a **new** engine's spill
+    /// directory at a peer's (or a copy of it), prewarm, and the shard
+    /// takes its first request with the fleet's compile work already in
+    /// memory. Without a spill store this is a no-op.
+    pub fn prewarm(&self, config: &ArchConfig) -> usize {
+        let Some(store) = &self.spill else {
+            return 0;
+        };
+        let mut loaded = 0;
+        for key in store.keys() {
+            if key.config != *config {
+                continue;
+            }
+            if self.len() >= self.capacity {
+                break;
+            }
+            if self
+                .map
+                .read()
+                .expect("cache map poisoned")
+                .contains_key(&key)
+            {
+                continue;
+            }
+            match store.load(&key) {
+                SpillLookup::Loaded(compiled) => {
+                    // Same discipline as `get_or_compile`: the compile
+                    // lock makes fills mutually exclusive, so a prewarm
+                    // racing a lookup never double-fills a slot.
+                    let slot = self.slot(key);
+                    let _filling = slot.compile_lock.lock().expect("compile lock poisoned");
+                    let mut guard = slot.compiled.write().expect("cache slot poisoned");
+                    if guard.is_none() {
+                        *guard = Some(Arc::new(*compiled));
+                        self.spill_hits.fetch_add(1, Ordering::Relaxed);
+                        loaded += 1;
+                    }
+                }
+                SpillLookup::Rejected(why) => {
+                    self.note_reject(why);
+                }
+                SpillLookup::Absent => {}
+            }
+        }
+        loaded
     }
 
     /// Finds or creates the slot for `key`, evicting if needed.
@@ -184,22 +624,43 @@ impl ProgramCache {
         if let Some(slot) = map.get(&key) {
             return Arc::clone(slot);
         }
-        if map.len() >= self.capacity {
-            // Evict the least recently used entry. In-flight users are
-            // unaffected: they hold their own Arc<Slot>.
-            if let Some(victim) = map
+        // Evict least-recently-used *safe* victims until the insert fits.
+        // A slot is only evictable when (a) it is filled — an empty slot
+        // is a compile in flight, and unmapping it would orphan the
+        // finished program (the compile lands in a slot no lookup can
+        // reach, the work is silently lost, and the next lookup
+        // recompiles) — and (b) no lookup currently holds the slot (the
+        // map's reference is the only `Arc`): a holder is between
+        // `slot()` and its fill/return, which is the same in-flight
+        // window. When every resident slot is busy the cache admits the
+        // new key over capacity; the loop (not a single eviction) lets
+        // later inserts drain any such overshoot back down to the bound
+        // once slots quiesce.
+        while map.len() >= self.capacity {
+            let victim = map
                 .iter()
+                .filter(|(_, s)| {
+                    Arc::strong_count(s) == 1
+                        && s.compiled.read().expect("cache slot poisoned").is_some()
+                })
                 .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
-                .map(|(k, _)| *k)
-            {
-                map.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-            }
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else {
+                break; // every resident slot is in flight — admit over capacity
+            };
+            map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         let slot = Arc::new(Slot {
             compiled: RwLock::new(None),
             compile_lock: Mutex::new(()),
-            last_used: AtomicU64::new(self.clock.load(Ordering::Relaxed)),
+            // Seed recency from `fetch_add`, not `load`: a plain load
+            // would make back-to-back creations tie at the same
+            // timestamp, and the eviction tie-break could then evict the
+            // slot that was just inserted (ahead of genuinely colder
+            // entries). `fetch_add` gives every slot a strictly
+            // increasing birth stamp.
+            last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
         });
         map.insert(key, Arc::clone(&slot));
         slot
@@ -222,6 +683,9 @@ impl ProgramCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.len(),
+            spill_hits: self.spill_hits.load(Ordering::Relaxed),
+            spill_writes: self.spill_writes.load(Ordering::Relaxed),
+            spill_rejects: self.spill_rejects.load(Ordering::Relaxed),
         }
     }
 }
@@ -291,5 +755,274 @@ mod tests {
         assert_eq!(cache.stats().misses, 3);
         cache.get_or_compile(&dags[1], keys[1], &cfg).unwrap();
         assert_eq!(cache.stats().misses, 4);
+    }
+
+    /// A chain DAG large enough that compiling takes real time — the
+    /// "slow compile" half of the eviction-race stress test.
+    fn chain_dag(nodes: usize, salt: u32) -> Dag {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let mut acc = b.node(Op::Add, &[x, y]).unwrap();
+        for i in 0..nodes {
+            let op = if (i as u32 + salt).is_multiple_of(2) {
+                Op::Mul
+            } else {
+                Op::Add
+            };
+            acc = b.node(op, &[acc, y]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    /// Regression (mid-compile eviction): a slot that is empty (compile in
+    /// flight) or still referenced by a lookup must never be the LRU
+    /// victim — before the fix, capacity pressure would unmap it, the
+    /// finished compile landed orphaned, and the next lookup recompiled
+    /// while stats still counted the eviction.
+    #[test]
+    fn eviction_skips_in_flight_slots() {
+        let cache = ProgramCache::with_capacity(CompileOptions::default(), 1);
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let dags: Vec<Dag> = (0..4).map(dag).collect();
+        let keys: Vec<CacheKey> = dags
+            .iter()
+            .map(|d| CacheKey {
+                dag: dag_fingerprint(d),
+                config: cfg,
+            })
+            .collect();
+
+        // Simulate an in-flight lookup of key 0: slot created and held
+        // (exactly the state between `slot()` and the compile finishing).
+        let held = cache.slot(keys[0]);
+        assert!(held.compiled.read().unwrap().is_none());
+
+        // Capacity pressure from two other keys. Key 0's slot is empty
+        // and held, so it must be skipped both times.
+        cache.get_or_compile(&dags[1], keys[1].dag, &cfg).unwrap();
+        cache.get_or_compile(&dags[2], keys[2].dag, &cfg).unwrap();
+        {
+            let map = cache.map.read().unwrap();
+            assert!(
+                map.contains_key(&keys[0]),
+                "in-flight slot was evicted under capacity pressure"
+            );
+            assert!(
+                Arc::ptr_eq(map.get(&keys[0]).unwrap(), &held),
+                "slot was replaced, the in-flight compile would be orphaned"
+            );
+        }
+        // Key 1 (filled, unreferenced, older) was the legitimate victim.
+        assert_eq!(cache.stats().evictions, 1);
+
+        // The in-flight lookup completes into the *live* slot: compiling
+        // key 0 now must be its first and only compile...
+        drop(held);
+        let a = cache.get_or_compile(&dags[0], keys[0].dag, &cfg).unwrap();
+        assert_eq!(cache.stats().misses, 3);
+        // ...and a follow-up lookup shares it instead of recompiling.
+        let b = cache.get_or_compile(&dags[0], keys[0].dag, &cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "finished compile was lost");
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    /// Regression (recency seeding): slots created back-to-back must get
+    /// strictly increasing `last_used` stamps. Seeding from `clock.load`
+    /// made them all tie, letting the eviction tie-break throw out the
+    /// slot that was just inserted.
+    #[test]
+    fn slot_creation_seeds_strict_recency_order() {
+        let cache = ProgramCache::new(CompileOptions::default());
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let stamps: Vec<u64> = (0..16)
+            .map(|i| {
+                let d = chain_dag(i, 7);
+                let slot = cache.slot(CacheKey {
+                    dag: dag_fingerprint(&d),
+                    config: cfg,
+                });
+                slot.last_used.load(Ordering::Relaxed)
+            })
+            .collect();
+        for pair in stamps.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "creation stamps not strictly increasing: {stamps:?}"
+            );
+        }
+    }
+
+    /// Stress: one key compiles slowly while other threads hammer the
+    /// cache with enough distinct keys to keep it permanently over
+    /// capacity. Every lookup of the slow key must share one compile —
+    /// before the eviction fix, pressure could orphan the in-flight slot
+    /// and a later lookup recompiled into a fresh one.
+    #[test]
+    fn slow_compile_survives_capacity_pressure() {
+        let cache = ProgramCache::with_capacity(CompileOptions::default(), 2);
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let big = chain_dag(1_500, 0);
+        let big_key = dag_fingerprint(&big);
+        let small: Vec<Dag> = (0..10).map(|i| chain_dag(i + 3, 1)).collect();
+
+        let results: Vec<Arc<Compiled>> = std::thread::scope(|scope| {
+            let mut compilers = Vec::new();
+            for delay_us in [0u64, 200, 2_000] {
+                let (cache, big) = (&cache, &big);
+                compilers.push(scope.spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                    cache.get_or_compile(big, big_key, &cfg).unwrap()
+                }));
+            }
+            for _ in 0..2 {
+                let (cache, small) = (&cache, &small);
+                scope.spawn(move || {
+                    for round in 0..6 {
+                        for d in small {
+                            let k = dag_fingerprint(d);
+                            cache.get_or_compile(d, k, &cfg).unwrap();
+                            std::hint::black_box(round);
+                        }
+                    }
+                });
+            }
+            compilers.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for r in &results[1..] {
+            assert!(
+                Arc::ptr_eq(&results[0], r),
+                "an in-flight compile was orphaned and the key recompiled"
+            );
+        }
+        // The slow key compiled exactly once even though the cache was
+        // over capacity the whole time.
+        let big_cache_key = CacheKey {
+            dag: big_key,
+            config: cfg,
+        };
+        let map = cache.map.read().unwrap();
+        if let Some(slot) = map.get(&big_cache_key) {
+            let current = slot.compiled.read().unwrap();
+            if let Some(current) = current.as_ref() {
+                assert!(Arc::ptr_eq(current, &results[0]), "slot holds a recompile");
+            }
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dpu-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn spill_store_roundtrips_and_backfills() {
+        let dir = temp_dir("roundtrip");
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let d = dag(3);
+        let k = dag_fingerprint(&d);
+
+        // Cold cache compiles and spills.
+        let store = SpillStore::new(&dir, &CompileOptions::default()).unwrap();
+        let cold = ProgramCache::with_store(CompileOptions::default(), None, Some(store));
+        let compiled = cold.get_or_compile(&d, k, &cfg).unwrap();
+        let s = cold.stats();
+        assert_eq!((s.misses, s.spill_writes, s.spill_hits), (1, 1, 0));
+
+        // A "restarted" cache over the same directory back-fills on miss:
+        // zero compiles, and the reloaded program is exactly the
+        // compiled one.
+        let store = SpillStore::new(&dir, &CompileOptions::default()).unwrap();
+        let warm = ProgramCache::with_store(CompileOptions::default(), None, Some(store));
+        let reloaded = warm.get_or_compile(&d, k, &cfg).unwrap();
+        let s = warm.stats();
+        assert_eq!((s.hits, s.misses, s.spill_hits), (1, 0, 1));
+        assert_eq!(reloaded.program, compiled.program);
+        assert_eq!(reloaded.layout, compiled.layout);
+        assert_eq!(reloaded.outputs, compiled.outputs);
+
+        // Prewarm path: a third cache loads it without any lookup.
+        let store = SpillStore::new(&dir, &CompileOptions::default()).unwrap();
+        let peer = ProgramCache::with_store(CompileOptions::default(), None, Some(store));
+        assert_eq!(peer.prewarm(&cfg), 1);
+        assert_eq!(peer.len(), 1);
+        let served = peer.get_or_compile(&d, k, &cfg).unwrap();
+        let s = peer.stats();
+        assert_eq!((s.hits, s.misses), (1, 0), "prewarmed key must hit");
+        assert_eq!(served.program, compiled.program);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_rejects_other_options_and_configs() {
+        let dir = temp_dir("options");
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let d = dag(4);
+        let k = dag_fingerprint(&d);
+        let store = SpillStore::new(&dir, &CompileOptions::default()).unwrap();
+        let cache = ProgramCache::with_store(CompileOptions::default(), None, Some(store));
+        cache.get_or_compile(&d, k, &cfg).unwrap();
+
+        // Different compiler options: the content address differs (the
+        // options fingerprint is part of the file name), so each options
+        // set keeps its own spills — neither fleet overwrites the
+        // other's, and the foreign file never appears in a scan.
+        let other_opts = CompileOptions {
+            window: 4,
+            ..Default::default()
+        };
+        let store = SpillStore::new(&dir, &other_opts).unwrap();
+        assert!(store.keys().is_empty(), "foreign options visible in scan");
+        let other = ProgramCache::with_store(other_opts.clone(), None, Some(store));
+        other.get_or_compile(&d, k, &cfg).unwrap();
+        let s = other.stats();
+        assert_eq!((s.misses, s.spill_hits), (1, 0));
+        // Both options' spills now coexist; the original is untouched.
+        let store = SpillStore::new(&dir, &CompileOptions::default()).unwrap();
+        assert_eq!(store.keys().len(), 1);
+        let store = SpillStore::new(&dir, &other_opts).unwrap();
+        assert_eq!(store.keys().len(), 1);
+
+        // Different config: content address differs, so it's absent, and
+        // prewarm for that config loads nothing.
+        let store = SpillStore::new(&dir, &CompileOptions::default()).unwrap();
+        let cache2 = ProgramCache::with_store(CompileOptions::default(), None, Some(store));
+        assert_eq!(cache2.prewarm(&ArchConfig::new(3, 16, 32).unwrap()), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A rejected spill file is observable: the counter climbs and the
+    /// reason survives for diagnostics.
+    #[test]
+    fn rejected_spill_reason_is_observable() {
+        let dir = temp_dir("reject-reason");
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let d = dag(2);
+        let k = dag_fingerprint(&d);
+        let store = SpillStore::new(&dir, &CompileOptions::default()).unwrap();
+        let cache = ProgramCache::with_store(CompileOptions::default(), None, Some(store));
+        cache.get_or_compile(&d, k, &cfg).unwrap();
+        assert!(cache.last_spill_reject().is_none());
+
+        // Corrupt the spilled file, then look it up through a fresh cache.
+        let path = cache.spill_store().unwrap().path_for(&CacheKey {
+            dag: k,
+            config: cfg,
+        });
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let store = SpillStore::new(&dir, &CompileOptions::default()).unwrap();
+        let fresh = ProgramCache::with_store(CompileOptions::default(), None, Some(store));
+        fresh.get_or_compile(&d, k, &cfg).unwrap();
+        let s = fresh.stats();
+        assert_eq!((s.misses, s.spill_rejects), (1, 1));
+        let why = fresh.last_spill_reject().expect("reason recorded");
+        assert!(why.contains("checksum"), "unexpected reason: {why}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -63,7 +63,7 @@ use crate::pool::{Engine, EngineOptions, Request};
 use crate::{DagKey, DPU_V2_L_CORES};
 
 /// Sizing and policy knobs of a [`Dispatcher`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DispatchOptions {
     /// Number of engine shards (ignored by [`Dispatcher::with_configs`]
     /// and [`Dispatcher::with_backends`], which take one shard per
@@ -82,6 +82,12 @@ pub struct DispatchOptions {
     pub cores: usize,
     /// Per-shard program-cache capacity (`None` = unbounded).
     pub cache_capacity: Option<usize>,
+    /// Shared spill directory for the engine shards' program caches
+    /// (`None` = in-memory only). All shards spill into — and back-fill
+    /// from — the same content-addressed directory, so a restarted
+    /// dispatcher starts warm and one shard's compile work is visible to
+    /// every other. See [`EngineOptions::spill_dir`].
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for DispatchOptions {
@@ -93,6 +99,7 @@ impl Default for DispatchOptions {
             work_stealing: true,
             cores: DPU_V2_L_CORES,
             cache_capacity: None,
+            spill_dir: None,
         }
     }
 }
@@ -155,6 +162,53 @@ impl InFlight {
         if *c == 0 {
             drop(c);
             self.zero.notify_all();
+        }
+    }
+}
+
+/// The serving window: first accepted request → last completion, in
+/// nanoseconds relative to a shared epoch (the dispatcher's construction
+/// instant). Lock-free: ingestion stamps the first acceptance with
+/// `fetch_min`, every completing job stamps `fetch_max`. Throughput
+/// reported over this window measures the system *while it served*,
+/// not however long it happened to sit idle before traffic arrived.
+struct ServingWindow {
+    epoch: Instant,
+    first_ns: AtomicU64,
+    last_ns: AtomicU64,
+}
+
+impl ServingWindow {
+    fn new(epoch: Instant) -> Self {
+        ServingWindow {
+            epoch,
+            first_ns: AtomicU64::new(u64::MAX),
+            last_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Stamps an accepted request (called by ingestion on pickup).
+    fn mark_accept(&self) {
+        self.first_ns.fetch_min(self.now_ns(), Ordering::Relaxed);
+    }
+
+    /// Stamps a completed job (ticketed or mirror copy).
+    fn mark_complete(&self) {
+        self.last_ns.fetch_max(self.now_ns(), Ordering::Relaxed);
+    }
+
+    /// Width of the window in seconds; 0 when nothing was served.
+    fn seconds(&self) -> f64 {
+        let first = self.first_ns.load(Ordering::Relaxed);
+        let last = self.last_ns.load(Ordering::Relaxed);
+        if first == u64::MAX || last <= first {
+            0.0
+        } else {
+            (last - first) as f64 / 1e9
         }
     }
 }
@@ -291,8 +345,18 @@ pub struct DispatchReport {
     pub rounds_closed_flush: u64,
     /// Per-shard execution counters (primaries first, then mirrors).
     pub shards: Vec<ShardReport>,
-    /// Host wall-clock seconds from construction to shutdown.
+    /// Host wall-clock seconds of the **serving window**: first accepted
+    /// request → last completed job. This is the denominator host-side
+    /// throughput should divide by; measuring from construction (as this
+    /// field did before the serving-window fix, now
+    /// [`DispatchReport::lifetime_seconds`]) under-reports whenever the
+    /// dispatcher idles before traffic arrives. 0.0 when nothing was
+    /// served.
     pub host_seconds: f64,
+    /// Host wall-clock seconds from construction to shutdown — the old
+    /// `host_seconds` total, kept as its own field so dashboards and
+    /// baselines switch to the serving window consciously, not silently.
+    pub lifetime_seconds: f64,
 }
 
 impl DispatchReport {
@@ -359,6 +423,9 @@ impl DispatchReport {
             total.misses += s.cache.misses;
             total.evictions += s.cache.evictions;
             total.entries += s.cache.entries;
+            total.spill_hits += s.cache.spill_hits;
+            total.spill_writes += s.cache.spill_writes;
+            total.spill_rejects += s.cache.spill_rejects;
         }
         total
     }
@@ -413,6 +480,7 @@ pub struct Dispatcher {
     workers: Vec<JoinHandle<()>>,
     options: DispatchOptions,
     started: Instant,
+    window: Arc<ServingWindow>,
     /// Filled by [`Dispatcher::stop`] so `shutdown` can build the report
     /// after `Drop`-safe teardown.
     final_ingest_stats: Option<IngestStats>,
@@ -464,6 +532,7 @@ impl Dispatcher {
                         workers: 1,
                         cores: options.cores,
                         cache_capacity: options.cache_capacity,
+                        spill_dir: options.spill_dir.clone(),
                     },
                 )) as Arc<dyn Backend>
             })
@@ -549,13 +618,17 @@ impl Dispatcher {
         });
         let (tx, rx) = crossbeam::channel::unbounded::<Job>();
         let shut_down = Arc::new(RwLock::new(false));
+        let started = Instant::now();
+        let window = Arc::new(ServingWindow::new(started));
 
         let ingest = {
             let queues = Arc::clone(&queues);
             let in_flight = Arc::clone(&in_flight);
+            let window = Arc::clone(&window);
+            let options = options.clone();
             std::thread::Builder::new()
                 .name("dpu-ingest".into())
-                .spawn(move || ingest_loop(&rx, &queues, &in_flight, p, n, options))
+                .spawn(move || ingest_loop(&rx, &queues, &in_flight, &window, p, n, &options))
                 .expect("spawn ingest thread")
         };
 
@@ -565,10 +638,20 @@ impl Dispatcher {
                 let queues = Arc::clone(&queues);
                 let in_flight = Arc::clone(&in_flight);
                 let steal_class = Arc::clone(&steal_class);
+                let window = Arc::clone(&window);
+                let options = options.clone();
                 std::thread::Builder::new()
                     .name(format!("dpu-shard-{i}"))
                     .spawn(move || {
-                        shard_loop(i, &shards, &queues, &in_flight, &steal_class, options)
+                        shard_loop(
+                            i,
+                            &shards,
+                            &queues,
+                            &in_flight,
+                            &window,
+                            &steal_class,
+                            &options,
+                        )
                     })
                     .expect("spawn shard thread")
             })
@@ -584,7 +667,8 @@ impl Dispatcher {
             ingest: Some(ingest),
             workers,
             options,
-            started: Instant::now(),
+            started,
+            window,
             final_ingest_stats: None,
         }
     }
@@ -620,6 +704,16 @@ impl Dispatcher {
     /// threads.
     pub fn submitter(&self) -> Submitter {
         Submitter::new(self.tx.clone(), Arc::clone(&self.shut_down))
+    }
+
+    /// Pre-warms every shard that supports it from its spill store (see
+    /// [`Backend::prewarm`] / [`Engine::prewarm`]), returning the total
+    /// number of programs loaded. Call after registering DAGs and before
+    /// submitting traffic so the first requests hit warm caches —
+    /// particularly when the shards share a spill directory a previous
+    /// run (or a peer fleet) already populated.
+    pub fn prewarm(&self) -> usize {
+        self.shards.iter().map(|s| s.backend.prewarm()).sum()
     }
 
     /// Jobs the ingestion thread has picked up but that have not yet
@@ -687,7 +781,8 @@ impl Dispatcher {
             rounds_closed_timer: ingest.closed_timer,
             rounds_closed_flush: ingest.closed_flush,
             shards,
-            host_seconds: self.started.elapsed().as_secs_f64(),
+            host_seconds: self.window.seconds(),
+            lifetime_seconds: self.started.elapsed().as_secs_f64(),
         }
     }
 
@@ -738,9 +833,10 @@ fn ingest_loop(
     rx: &crossbeam::channel::Receiver<Job>,
     queues: &Queues,
     in_flight: &InFlight,
+    window: &ServingWindow,
     p: usize,
     n: usize,
-    options: DispatchOptions,
+    options: &DispatchOptions,
 ) -> IngestStats {
     use crossbeam::channel::RecvTimeoutError;
 
@@ -813,6 +909,7 @@ fn ingest_loop(
         match msg {
             Some(Job::Request(request, ticket)) => {
                 stats.submitted += 1;
+                window.mark_accept();
                 let s = home_shard(request.dag, p);
                 // Mirror copies first (so `request` moves last).
                 for m in p..n {
@@ -867,8 +964,9 @@ fn shard_loop(
     shards: &[Arc<ShardState>],
     queues: &Queues,
     in_flight: &InFlight,
+    window: &ServingWindow,
     steal_class: &[usize],
-    options: DispatchOptions,
+    options: &DispatchOptions,
 ) {
     let my = &shards[me];
     let mut scratch = my.backend.scratch();
@@ -893,6 +991,7 @@ fn shard_loop(
             if let Some(ticket) = ticket {
                 ticket.fulfill(result);
             }
+            window.mark_complete();
             in_flight.dec();
         }
         my.requests

@@ -10,7 +10,13 @@
 //! - [`ProgramCache`] compiles each distinct (DAG, [`ArchConfig`]) pair
 //!   **once**, under concurrent access, and shares the resulting
 //!   [`Arc<Compiled>`](dpu_compiler::Compiled) across requests, with
-//!   hit/miss/eviction statistics ([`CacheStats`]).
+//!   hit/miss/eviction statistics ([`CacheStats`]). Built over a
+//!   [`SpillStore`] (a content-addressed spill directory,
+//!   [`EngineOptions::spill_dir`]), it also persists every compile to
+//!   disk and back-fills from disk on miss, so a restarted engine starts
+//!   warm and a new shard can pre-warm from a peer's spill
+//!   ([`Engine::prewarm`]) — compile work is paid once per *fleet*, not
+//!   once per process.
 //! - [`Engine`] fans a stream of [`Request`]s out over `N` host worker
 //!   threads. Each worker owns one reusable [`Machine`](dpu_sim::Machine)
 //!   and calls [`Machine::reset`](dpu_sim::Machine::reset) between
@@ -87,7 +93,7 @@ pub mod planner;
 pub mod pool;
 
 pub use backend::{Backend, BaselineBackend, Scratch, StealClass};
-pub use cache::{CacheKey, CacheStats, ProgramCache};
+pub use cache::{CacheKey, CacheStats, ProgramCache, SpillLookup, SpillStore};
 pub use dispatch::{
     home_shard, DispatchOptions, DispatchReport, Dispatcher, PlatformSummary, ShardReport,
 };

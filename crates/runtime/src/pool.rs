@@ -27,7 +27,7 @@ use dpu_isa::ArchConfig;
 use dpu_sim::{run_on, Activity, Machine, RunResult, SimError};
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{CacheStats, ProgramCache};
+use crate::cache::{CacheStats, ProgramCache, SpillStore};
 use crate::planner::{plan_rounds, BatchPlan};
 use crate::{dag_fingerprint, DagKey, DPU_V2_L_CORES};
 
@@ -48,7 +48,7 @@ impl Request {
 }
 
 /// Engine sizing knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineOptions {
     /// Host worker threads simulating requests in parallel.
     pub workers: usize,
@@ -57,6 +57,15 @@ pub struct EngineOptions {
     pub cores: usize,
     /// Program-cache capacity in entries (`None` = unbounded).
     pub cache_capacity: Option<usize>,
+    /// Directory to persist compiled programs in (`None` = in-memory
+    /// only). With a spill directory, fresh compiles are written to disk
+    /// and cache misses check the disk before compiling, so an engine
+    /// restarted over the same directory starts warm and a new shard can
+    /// [`Engine::prewarm`] from a peer's spill. See
+    /// [`SpillStore`].
+    ///
+    /// [`SpillStore`]: crate::cache::SpillStore
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for EngineOptions {
@@ -67,6 +76,7 @@ impl Default for EngineOptions {
                 .unwrap_or(4),
             cores: DPU_V2_L_CORES,
             cache_capacity: None,
+            spill_dir: None,
         }
     }
 }
@@ -208,17 +218,36 @@ impl std::fmt::Debug for Engine {
 
 impl Engine {
     /// Builds an engine serving `config`, compiling with `compile_opts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`EngineOptions::spill_dir`] is set but the directory
+    /// cannot be created — a misconfigured persistence path, like a zero
+    /// cache capacity, is a deployment error worth failing loudly on.
     pub fn new(config: ArchConfig, compile_opts: CompileOptions, options: EngineOptions) -> Self {
-        let cache = match options.cache_capacity {
-            Some(cap) => ProgramCache::with_capacity(compile_opts, cap),
-            None => ProgramCache::new(compile_opts),
-        };
+        let spill = options.spill_dir.as_ref().map(|dir| {
+            SpillStore::new(dir, &compile_opts)
+                .unwrap_or_else(|e| panic!("spill dir {}: {e}", dir.display()))
+        });
+        let cache = ProgramCache::with_store(compile_opts, options.cache_capacity, spill);
         Engine {
             config,
             options,
             cache,
             dags: RwLock::new(std::collections::HashMap::new()),
         }
+    }
+
+    /// Back-fills the program cache from the engine's spill directory
+    /// without waiting for traffic, returning the number of programs
+    /// loaded. A no-op (returns 0) without a spill directory.
+    ///
+    /// This is the scale-out warm-start: build the new shard over a
+    /// peer's spill directory (or a copy), `prewarm`, then add it to a
+    /// dispatcher — its first request finds every program the fleet has
+    /// already compiled. See [`ProgramCache::prewarm`].
+    pub fn prewarm(&self) -> usize {
+        self.cache.prewarm(&self.config)
     }
 
     /// The architecture point this engine serves.
@@ -426,7 +455,7 @@ mod tests {
             EngineOptions {
                 workers: 4,
                 cores: 4,
-                cache_capacity: None,
+                ..Default::default()
             },
         )
     }

@@ -31,6 +31,7 @@ fn engine_backend() -> Arc<dyn Backend> {
             workers: 1,
             cores: 8,
             cache_capacity: None,
+            spill_dir: None,
         },
     ))
 }

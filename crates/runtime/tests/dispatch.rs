@@ -405,3 +405,60 @@ fn ticket_wait_timeout_returns_ticket_then_result() {
     }
     d.shutdown();
 }
+
+/// Regression (report-window accounting): `host_seconds` must cover the
+/// serving window (first accepted request → last completion), not the
+/// dispatcher's whole lifetime — idling before traffic arrives used to
+/// deflate every host-side throughput figure derived from it. The old
+/// total survives as `lifetime_seconds`.
+#[test]
+fn report_window_excludes_pre_traffic_idle() {
+    let d = dispatcher(2, 8);
+    let dags = workload_dags();
+    let keys: Vec<_> = dags.iter().map(|dag| d.register(dag.clone())).collect();
+
+    // Idle long enough that lifetime and serving window must diverge.
+    let idle = Duration::from_millis(300);
+    std::thread::sleep(idle);
+
+    let submitter = d.submitter();
+    let tickets: Vec<Ticket> = (0..40)
+        .map(|i| {
+            let which = i % dags.len();
+            submitter
+                .submit(Request::new(keys[which], inputs_for(&dags[which], i)))
+                .expect("accepted")
+        })
+        .collect();
+    for t in tickets {
+        t.wait().expect("request succeeds");
+    }
+    let report = d.shutdown();
+
+    assert!(
+        report.host_seconds > 0.0,
+        "forty served requests must open a serving window"
+    );
+    assert!(
+        report.lifetime_seconds >= idle.as_secs_f64(),
+        "lifetime covers construction → shutdown"
+    );
+    assert!(
+        report.lifetime_seconds - report.host_seconds >= idle.as_secs_f64() * 0.8,
+        "serving window ({:.4}s) must exclude the {:.1}s pre-traffic idle \
+         (lifetime {:.4}s)",
+        report.host_seconds,
+        idle.as_secs_f64(),
+        report.lifetime_seconds,
+    );
+}
+
+/// An empty lifetime has no serving window at all.
+#[test]
+fn report_window_is_zero_when_nothing_served() {
+    let d = dispatcher(2, 8);
+    std::thread::sleep(Duration::from_millis(30));
+    let report = d.shutdown();
+    assert_eq!(report.host_seconds, 0.0);
+    assert!(report.lifetime_seconds >= 0.03);
+}

@@ -54,6 +54,7 @@ fn engine_and_stream(workers: usize) -> (Engine, Vec<Request>) {
             workers,
             cores: 8,
             cache_capacity: None,
+            spill_dir: None,
         },
     );
     let dags = workload_dags();

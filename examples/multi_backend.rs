@@ -144,6 +144,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         workers: 1,
         cores: 8,
         cache_capacity: None,
+        spill_dir: None,
     });
     let cpu_shard = BaselineBackend::new(BaselineModel::cpu(), freq);
     let het = Dispatcher::with_backends(

@@ -19,6 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         workers: 4,
         cores: runtime::DPU_V2_L_CORES,
         cache_capacity: None,
+        spill_dir: None,
     });
 
     // Register a small fleet of DAGs: two PCs and one SpTRSV.
