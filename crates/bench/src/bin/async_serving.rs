@@ -7,10 +7,18 @@
 //!    stealing off and an effectively infinite latency budget serves the
 //!    whole stream (submit → drain). Round composition, routing, cache
 //!    behavior and the modelled clock are then pure functions of the
-//!    stream, so `simulated_gops`, `cache_hit_rate` and `shard_balance`
-//!    are bit-stable across machines. Of these, `bench_gate` compares
-//!    `simulated_gops` and the cache miss rate against
-//!    `bench/baseline.json`; the rest are recorded for trajectory.
+//!    stream, so `simulated_gops`, `cache_hit_rate`, `shard_balance` and
+//!    the per-request **modelled service-time histogram**
+//!    (`latency.deterministic`, in simulated cycles) are bit-stable
+//!    across machines. The same stream is re-served on a 2-shard layout
+//!    and the merged per-shard histograms are asserted *byte-identical*
+//!    (`merge_invariant`) — the histogram merge is order-independent, so
+//!    sharding cannot change the distribution. Of these, `bench_gate`
+//!    compares `simulated_gops`, the cache miss rate, and
+//!    `latency.deterministic.p50`/`p99` against `bench/baseline.json`;
+//!    the rest are recorded for trajectory. (Fields prefixed `host_` —
+//!    including `latency.deterministic.host_mean_queueing_delay_us` —
+//!    are wall-clock observability riders and machine-dependent.)
 //! 2. **Multi-backend comparison** (deterministic, gated): a 2-primary
 //!    DPU-v2 dispatcher mirrored by one analytic baseline shard per
 //!    `--baseline <platform>` flag (default `cpu,gpu`; also `dpu_v1`,
@@ -21,9 +29,13 @@
 //!    serving time. Throughputs are pure functions of the stream and the
 //!    platform models, so `bench_gate` ratchets them.
 //! 3. **Open-loop phase** (observability): a 2-shard dispatcher with
-//!    stealing on replays the same requests on a Poisson arrival
-//!    schedule, reporting host-side latency/throughput and steal/close
-//!    statistics. Timing-dependent, therefore not gated.
+//!    stealing on replays uniform, Poisson and bursty arrival schedules
+//!    (with Zipf family skew) through `Submitter::submit_at`, so each
+//!    request's timeline is charged from its *scheduled* arrival. Per
+//!    pattern the report carries host-side response-time quantiles
+//!    (p50/p99/p999 end-to-end, queueing/batching/service breakdowns)
+//!    plus steal/close statistics. Timing-dependent, therefore the
+//!    host-time numbers are recorded, not gated.
 //! 4. **Machine-scratch microbench**: the same compiled program run with
 //!    a fresh `Machine` per request (the old allocating hot path) vs one
 //!    reused machine (`Machine::reset` + per-machine scratch buffers) —
@@ -45,7 +57,7 @@
 
 use std::time::{Duration, Instant};
 
-use dpu_bench::report::{emit, json_path_flag, Json};
+use dpu_bench::report::{emit, json_path_flag, latency_row, Json};
 use dpu_core::prelude::*;
 use dpu_core::workloads::pc::{generate_pc, pc_inputs, PcParams};
 use dpu_core::workloads::sparse::{generate_lower_triangular, LowerTriangularParams, SpmvDag};
@@ -243,6 +255,42 @@ fn main() {
     let gated_report = gated.shutdown();
     assert_eq!(gated_report.served, REQUESTS as u64, "loss-free drain");
     let gated_cache = gated_report.cache_totals();
+    assert_eq!(
+        gated_report.latency.service_cycles.count(),
+        REQUESTS as u64,
+        "every served request recorded a modelled service time"
+    );
+
+    // Merge invariant: the same stream on a 2-shard layout must merge to
+    // a byte-identical modelled service-time histogram — the multiset of
+    // per-request cycles is a pure function of the stream, and the
+    // histogram merge is associative and order-independent, so shard
+    // count cannot perturb the gated latency distribution.
+    let two_shard = dpu.dispatcher(DispatchOptions {
+        shards: 2,
+        max_batch: 32,
+        max_wait: Duration::from_secs(3600),
+        work_stealing: false,
+        ..Default::default()
+    });
+    let keys: Vec<DagKey> = fams
+        .iter()
+        .map(|f| two_shard.register(f.dag.clone()))
+        .collect();
+    let submitter = two_shard.submitter();
+    let two_tickets: Vec<Ticket> = (0..REQUESTS)
+        .map(|i| submitter.submit(build_request(&keys, i)).expect("accepted"))
+        .collect();
+    two_shard.drain();
+    drop(two_tickets);
+    let two_shard_report = two_shard.shutdown();
+    assert_eq!(
+        gated_report.latency.service_cycles.to_bytes(),
+        two_shard_report.latency.service_cycles.to_bytes(),
+        "merged per-shard latency histograms must be byte-identical \
+         across 2-shard and 4-shard runs"
+    );
+    let merge_invariant = true;
 
     // Phase 2: multi-backend comparison. Two DPU-v2 primaries serve the
     // stream (tickets, verified below) while one mirror shard per
@@ -337,36 +385,119 @@ fn main() {
             .field("platforms", platforms)
     };
 
-    // Phase 3: open-loop replay with stealing on, paced by the schedule.
-    let open = dpu.dispatcher(DispatchOptions {
-        shards: 2,
-        max_batch: 24,
-        max_wait: Duration::from_micros(500),
-        work_stealing: true,
-        ..Default::default()
-    });
-    let keys: Vec<DagKey> = fams.iter().map(|f| open.register(f.dag.clone())).collect();
-    let submitter = open.submitter();
-    let replay_start = Instant::now();
-    let mut open_tickets = Vec::with_capacity(REQUESTS);
-    for (i, arrival) in schedule.iter().enumerate() {
-        if let Some(wait) = arrival.at.checked_sub(replay_start.elapsed()) {
-            std::thread::sleep(wait);
+    let shard_arr = |r: &DispatchReport| {
+        Json::Arr(
+            r.shards
+                .iter()
+                .map(|s| {
+                    Json::obj()
+                        .field("requests", s.requests)
+                        .field("rounds", s.rounds)
+                        .field("stolen_rounds", s.stolen_rounds)
+                        .field("modelled_cycles", s.modelled_cycles)
+                        .field("cache_hit_rate", s.cache.hit_rate())
+                        .field("compiles", s.cache.misses)
+                })
+                .collect(),
+        )
+    };
+
+    // Phase 3: open-loop replays with stealing on, one per arrival
+    // pattern × Zipf skew, each paced by its schedule and submitted with
+    // `submit_at` so per-request latency is charged from the *scheduled*
+    // arrival. Outputs verified against a serial pass per pattern.
+    let open_patterns: [(ArrivalPattern, f64, u64); 3] = [
+        (ArrivalPattern::Poisson, 0.0, 61),
+        (ArrivalPattern::Uniform, 0.5, 62),
+        (ArrivalPattern::Bursty { burst: 16 }, 0.8, 63),
+    ];
+    let mut open_loop_json = Json::obj();
+    let mut open_latency_json = Json::obj();
+    for (pattern, skew, seed) in open_patterns {
+        let schedule = open_loop_schedule(&TrafficParams {
+            requests: REQUESTS,
+            rate_per_sec: 3_000.0,
+            pattern,
+            families: fams.len(),
+            skew,
+            seed,
+        });
+        let stream: Vec<Request> = schedule
+            .iter()
+            .map(|a| Request::new(ref_keys[a.family], (fams[a.family].inputs)(a.seq)))
+            .collect();
+        let pattern_ref = ref_engine
+            .serve_serial(&stream)
+            .expect("serial reference succeeds");
+        let open = dpu.dispatcher(DispatchOptions {
+            shards: 2,
+            max_batch: 24,
+            max_wait: Duration::from_micros(500),
+            work_stealing: true,
+            ..Default::default()
+        });
+        let keys: Vec<DagKey> = fams.iter().map(|f| open.register(f.dag.clone())).collect();
+        let submitter = open.submitter();
+        let replay_start = Instant::now();
+        let mut open_tickets = Vec::with_capacity(REQUESTS);
+        for arrival in &schedule {
+            if let Some(wait) = arrival.at.checked_sub(replay_start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            let request = Request::new(
+                keys[arrival.family],
+                (fams[arrival.family].inputs)(arrival.seq),
+            );
+            open_tickets.push(
+                submitter
+                    .submit_at(request, arrival.instant(replay_start))
+                    .expect("accepted"),
+            );
         }
-        open_tickets.push(submitter.submit(build_request(&keys, i)).expect("accepted"));
-    }
-    open.drain();
-    let open_host_seconds = replay_start.elapsed().as_secs_f64();
-    for (i, t) in open_tickets.into_iter().enumerate() {
-        let got = t.wait().expect("request succeeds");
-        assert_identical(
-            &got,
-            &reference.results[i],
-            &format!("open-loop request {i}"),
+        open.drain();
+        let open_host_seconds = replay_start.elapsed().as_secs_f64();
+        for (i, t) in open_tickets.into_iter().enumerate() {
+            let got = t.wait().expect("request succeeds");
+            assert_identical(
+                &got,
+                &pattern_ref.results[i],
+                &format!("open-loop {} request {i}", pattern.name()),
+            );
+        }
+        let open_report = open.shutdown();
+        assert_eq!(open_report.served, REQUESTS as u64, "loss-free drain");
+        let lat = &open_report.latency;
+        open_latency_json = open_latency_json.field(
+            pattern.name(),
+            Json::obj()
+                .field("unit", "us")
+                .field("offered_rps", 3_000.0)
+                .field("skew", skew)
+                .field("total", latency_row(&lat.total_ns, 1e-3))
+                .field("queueing", latency_row(&lat.queueing_ns, 1e-3))
+                .field("batching", latency_row(&lat.batching_ns, 1e-3))
+                .field("service", latency_row(&lat.service_ns, 1e-3))
+                .field("mean_queueing_delay_us", lat.queueing_ns.mean() * 1e-3),
+        );
+        open_loop_json = open_loop_json.field(
+            pattern.name(),
+            Json::obj()
+                .field("shards", open_report.shards.len())
+                .field("offered_rps", 3_000.0)
+                .field("skew", skew)
+                .field("host_seconds", open_host_seconds)
+                // The dispatcher's own clocks: serving window (first
+                // accept → last completion) vs construction → shutdown.
+                .field("serving_window_seconds", open_report.host_seconds)
+                .field("lifetime_seconds", open_report.lifetime_seconds)
+                .field("rounds_closed_full", open_report.rounds_closed_full)
+                .field("rounds_closed_timer", open_report.rounds_closed_timer)
+                .field("rounds_closed_flush", open_report.rounds_closed_flush)
+                .field("steal_rate", open_report.steal_rate())
+                .field("shard_balance", open_report.shard_balance())
+                .field("shards_detail", shard_arr(&open_report)),
         );
     }
-    let open_report = open.shutdown();
-    assert_eq!(open_report.served, REQUESTS as u64, "loss-free drain");
 
     // Phase 4: machine-scratch before/after. Same program, same inputs:
     // a fresh Machine per request (per-request allocation, the pre-scratch
@@ -435,22 +566,6 @@ fn main() {
     let peer_stats = peer_engine.cache_stats();
     assert_eq!(peer_stats.misses, 0, "a pre-warmed shard must not compile");
 
-    let shard_arr = |r: &DispatchReport| {
-        Json::Arr(
-            r.shards
-                .iter()
-                .map(|s| {
-                    Json::obj()
-                        .field("requests", s.requests)
-                        .field("rounds", s.rounds)
-                        .field("stolen_rounds", s.stolen_rounds)
-                        .field("modelled_cycles", s.modelled_cycles)
-                        .field("cache_hit_rate", s.cache.hit_rate())
-                        .field("compiles", s.cache.misses)
-                })
-                .collect(),
-        )
-    };
     let report = Json::obj()
         .field("bench", "async_serving")
         .field("requests", REQUESTS)
@@ -470,6 +585,30 @@ fn main() {
         .field("verified", true)
         // Live multi-backend comparison (machine-independent, gated).
         .field("baseline_compare", baseline_compare)
+        // Closed-loop latency accounting. `deterministic` is the gated
+        // half: per-request modelled service time in simulated cycles,
+        // a pure function of the stream (merge-invariant across shard
+        // counts, asserted above); `bench_gate` ratchets its p50/p99.
+        // `open_loop` carries the host-time response-time quantiles of
+        // each replay pattern (machine-dependent, recorded only).
+        .field(
+            "latency",
+            Json::obj()
+                .field(
+                    "deterministic",
+                    latency_row(&gated_report.latency.service_cycles, 1.0)
+                        .field("unit", "modelled_cycles")
+                        // Host-time observability rider (machine-
+                        // dependent, like host_seconds — NOT gated).
+                        .field(
+                            "host_mean_queueing_delay_us",
+                            gated_report.latency.queueing_ns.mean() * 1e-3,
+                        )
+                        .field("merge_invariant", merge_invariant)
+                        .field("verified", true),
+                )
+                .field("open_loop", open_latency_json),
+        )
         // Cache persistence: warm-restart + peer pre-warm over a spill
         // dir (machine-independent; warm_restart_hit_rate is gated).
         .field(
@@ -490,24 +629,7 @@ fn main() {
         .field("host_seconds", gated_host_seconds)
         .field("host_rps", REQUESTS as f64 / gated_host_seconds.max(1e-9))
         .field("gated_shards", shard_arr(&gated_report))
-        .field(
-            "open_loop",
-            Json::obj()
-                .field("shards", open_report.shards.len())
-                .field("arrival", "poisson")
-                .field("offered_rps", 3_000.0)
-                .field("host_seconds", open_host_seconds)
-                // The dispatcher's own clocks: serving window (first
-                // accept → last completion) vs construction → shutdown.
-                .field("serving_window_seconds", open_report.host_seconds)
-                .field("lifetime_seconds", open_report.lifetime_seconds)
-                .field("rounds_closed_full", open_report.rounds_closed_full)
-                .field("rounds_closed_timer", open_report.rounds_closed_timer)
-                .field("rounds_closed_flush", open_report.rounds_closed_flush)
-                .field("steal_rate", open_report.steal_rate())
-                .field("shard_balance", open_report.shard_balance())
-                .field("shards_detail", shard_arr(&open_report)),
-        )
+        .field("open_loop", open_loop_json)
         .field(
             "machine_scratch",
             Json::obj()

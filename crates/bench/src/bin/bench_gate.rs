@@ -25,6 +25,15 @@
 //!   gated the same way: the committed baseline is a perfect 1.0 (a
 //!   restarted engine recompiles nothing), so any compile on a warm
 //!   restart fails the gate.
+//! - The `latency.deterministic` section (per-request modelled service
+//!   time in simulated cycles — deterministic, merge-invariant across
+//!   shard counts) is gated **lower-is-better** on `p50` and `p99`: fail
+//!   on a relative increase beyond the tolerance, and fail outright when
+//!   a non-zero baseline tail collapses to zero — a p99 of zero does not
+//!   mean the system got infinitely fast, it means the accounting broke
+//!   (the same hardening the cache miss-rate gate applies to hit rates).
+//!   Host-time latency (the open-loop section) varies by machine and is
+//!   recorded, not gated.
 //!
 //! Usage:
 //! `cargo run --release -p dpu-bench --bin bench_gate -- \
@@ -74,27 +83,32 @@ fn num(doc: &Json, key: &str, path: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{path}: missing numeric field `{key}`"))
 }
 
-/// One higher-is-better ratchet check. Returns `true` on failure.
-fn gate_higher_better(key: &str, current: f64, baseline: f64, tol: f64) -> bool {
+/// One ratchet check; `higher_better` picks the regression direction
+/// (throughput metrics ratchet up, latency quantiles ratchet down).
+/// Returns `true` on failure.
+fn gate_metric(key: &str, current: f64, baseline: f64, tol: f64, higher_better: bool) -> bool {
     let (failed, verdict): (bool, String) = if baseline == 0.0 {
-        // Nothing to regress from; a non-zero current is a new capability.
-        if current > 0.0 {
-            (
-                false,
-                "pass (new signal — consider refreshing bench/baseline.json)".into(),
-            )
-        } else {
-            (false, "pass (both zero)".into())
-        }
+        // Nothing to regress from; a non-zero current is a new signal.
+        (
+            false,
+            if current > 0.0 {
+                "pass (new signal — consider refreshing bench/baseline.json)".into()
+            } else {
+                "pass (both zero)".into()
+            },
+        )
     } else if current == 0.0 {
-        // A non-zero → zero collapse is always a failure, regardless of
-        // tolerance: the metric didn't regress, it vanished.
+        // A non-zero → zero collapse always fails, in either direction:
+        // a throughput of zero means the metric vanished, and a latency
+        // of exactly zero means the accounting vanished — not that
+        // serving became instantaneous.
         (true, "FAIL (collapsed to zero)".into())
     } else {
         let change = (current - baseline) / baseline;
-        let v: &str = if change < -tol {
+        let regression = if higher_better { -change } else { change };
+        let v: &str = if regression > tol {
             "FAIL"
-        } else if change > tol {
+        } else if regression < -tol {
             "pass (improved — consider refreshing bench/baseline.json)"
         } else {
             "pass"
@@ -103,6 +117,17 @@ fn gate_higher_better(key: &str, current: f64, baseline: f64, tol: f64) -> bool 
     };
     println!("bench-gate: {key}: current {current:.4} vs baseline {baseline:.4} {verdict}");
     failed
+}
+
+/// One higher-is-better ratchet check. Returns `true` on failure.
+fn gate_higher_better(key: &str, current: f64, baseline: f64, tol: f64) -> bool {
+    gate_metric(key, current, baseline, tol, true)
+}
+
+/// One lower-is-better ratchet check (latency quantiles). Returns `true`
+/// on failure.
+fn gate_lower_better(key: &str, current: f64, baseline: f64, tol: f64) -> bool {
+    gate_metric(key, current, baseline, tol, false)
 }
 
 /// A cache-health check, on miss rate (lower is better). Returns `true`
@@ -202,6 +227,42 @@ fn run() -> Result<(), String> {
             num(base_persist, "warm_restart_hit_rate", &args.baseline)?,
             tol,
         );
+    }
+
+    // Tail latency: the deterministic phase's modelled service-time
+    // quantiles are machine-independent, so p50/p99 ratchet exactly like
+    // throughput — just lower-is-better, with the zero-collapse guard.
+    if let Some(base_lat) = baseline.get("latency").and_then(|l| l.get("deterministic")) {
+        let cur_lat = current
+            .get("latency")
+            .and_then(|l| l.get("deterministic"))
+            .ok_or_else(|| {
+                format!(
+                    "{}: latency.deterministic section missing (baseline has it)",
+                    args.current
+                )
+            })?;
+        if cur_lat.get("verified").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "{}: latency.deterministic.verified is not true",
+                args.current
+            ));
+        }
+        if cur_lat.get("merge_invariant").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "{}: latency.deterministic.merge_invariant is not true — merged \
+                 per-shard histograms diverged across shard counts",
+                args.current
+            ));
+        }
+        for q in ["p50", "p99"] {
+            failed |= gate_lower_better(
+                &format!("latency.deterministic.{q}"),
+                num(cur_lat, q, &args.current)?,
+                num(base_lat, q, &args.baseline)?,
+                tol,
+            );
+        }
     }
 
     // Multi-backend comparison: every platform the baseline knows must

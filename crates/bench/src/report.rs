@@ -10,6 +10,8 @@
 
 use std::fmt::Write as _;
 
+use dpu_core::runtime::LatencyHistogram;
+
 /// A JSON document.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -318,6 +320,20 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
         .ok_or_else(|| format!("bad number at byte {start}"))
 }
 
+/// Renders a latency histogram as the standard quantile row every
+/// serving bench emits: count, p50/p99/p999, max, mean. `scale`
+/// converts the recorded unit into the reported one (1.0 keeps modelled
+/// cycles as-is; `1e-3` renders nanoseconds as microseconds).
+pub fn latency_row(h: &LatencyHistogram, scale: f64) -> Json {
+    Json::obj()
+        .field("count", h.count())
+        .field("p50", h.p50() as f64 * scale)
+        .field("p99", h.p99() as f64 * scale)
+        .field("p999", h.p999() as f64 * scale)
+        .field("max", h.max() as f64 * scale)
+        .field("mean", h.mean() * scale)
+}
+
 /// Extracts the value of a `--json <path>` flag from command-line
 /// arguments (`None` when absent). Shared by every serving bench binary.
 ///
@@ -375,6 +391,24 @@ mod tests {
         // Integers render without a decimal point, floats keep one.
         assert!(text.contains("\"requests\":500"));
         assert!(text.contains("\"simulated_gops\":12.51"));
+    }
+
+    #[test]
+    fn latency_row_scales_and_names_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for v in [1_000u64, 2_000, 4_000, 8_000] {
+            h.record(v);
+        }
+        let row = latency_row(&h, 1e-3);
+        assert_eq!(row.get("count").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(
+            row.get("max").and_then(Json::as_f64),
+            Some(8.0),
+            "ns render as µs at 1e-3"
+        );
+        let p50 = row.get("p50").and_then(Json::as_f64).unwrap();
+        assert!((2.0..=2.2).contains(&p50), "p50 {p50}");
+        assert!(row.get("p99").is_some() && row.get("p999").is_some());
     }
 
     #[test]

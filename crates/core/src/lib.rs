@@ -63,8 +63,9 @@ pub mod prelude {
     pub use dpu_isa::{ArchConfig, Topology};
     pub use dpu_runtime::{
         Backend, BaselineBackend, CacheStats, DagKey, DispatchOptions, DispatchReport, Dispatcher,
-        Engine, EngineOptions, PlatformSummary, ProgramCache, Request, ServingReport, SpillStore,
-        StealClass, SubmitAllError, Submitter, Ticket,
+        Engine, EngineOptions, LatencyHistogram, LatencyReport, PlatformSummary, ProgramCache,
+        Request, ServingReport, SpillStore, StealClass, SubmitAllError, Submitter, Ticket,
+        Timeline,
     };
     pub use dpu_sim::{RunResult, VerifyReport};
 }

@@ -24,6 +24,14 @@
 //! - **Honest steal classes.** Two backends may report equal
 //!   [`StealClass`]es only if they produce byte-identical results for
 //!   every request — the dispatcher moves rounds freely within a class.
+//! - **Honest cycle counts.** The `cycles` a backend returns per request
+//!   are its *modelled service time* and feed the deterministic half of
+//!   the latency accounting
+//!   ([`LatencyReport::service_cycles`](crate::LatencyReport)); they must
+//!   be a pure function of (backend parameters, program, inputs). Mirror
+//!   shards execute ticketless shadows on the shard's own thread, so they
+//!   contribute nothing to primary latency — neither to ticket timelines
+//!   nor to [`DispatchReport::latency`](crate::DispatchReport::latency).
 
 use std::any::Any;
 use std::collections::HashMap;

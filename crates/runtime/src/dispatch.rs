@@ -39,6 +39,16 @@
 //!   cost on a Xeon?" from the **same** dispatcher run. Mirrors never
 //!   touch ticket results: per-request outputs remain byte-identical to
 //!   a serial DPU pass.
+//! - **Closed-loop latency accounting.** Every ticketed request carries a
+//!   [`Timeline`] through the path (arrival → accepted →
+//!   round-closed → execute-start → completed, monotonic ns from the
+//!   dispatcher's epoch), from which queueing delay, batching delay and
+//!   service time derive. Each shard records completed timelines into a
+//!   [`LatencyReport`] of mergeable histograms;
+//!   [`DispatchReport::latency`] is their order-independent merge over
+//!   the primary shards, and every [`Ticket`](crate::Ticket) exposes its
+//!   own timeline on completion
+//!   ([`Ticket::wait_detailed`](crate::Ticket::wait_detailed)).
 //! - **Deterministic, loss-free shutdown.** Every request accepted by
 //!   [`Submitter::submit`] is executed and its [`Ticket`](crate::Ticket)
 //!   fulfilled before [`Dispatcher::shutdown`] returns; per-request
@@ -59,6 +69,7 @@ use dpu_isa::ArchConfig;
 use crate::backend::Backend;
 use crate::cache::CacheStats;
 use crate::ingest::{Gate, Job, Submitter, TicketState};
+use crate::latency::{Clock, LatencyReport, Timeline};
 use crate::pool::{Engine, EngineOptions, Request};
 use crate::{DagKey, DPU_V2_L_CORES};
 
@@ -121,10 +132,9 @@ struct Round {
     /// The shard this round was routed to (its keys' home, or the mirror
     /// shard it shadows traffic for).
     home: usize,
-    /// Requests in arrival order, each with its completion handle —
-    /// `None` on mirror rounds, whose results are accounted but not
-    /// delivered.
-    jobs: Vec<(Request, Option<Arc<TicketState>>)>,
+    /// Requests in arrival order, each with its completion handle and its
+    /// in-progress latency timeline.
+    jobs: Vec<TrackedJob>,
 }
 
 /// Per-shard queue state behind the shared lock.
@@ -167,38 +177,36 @@ impl InFlight {
 }
 
 /// The serving window: first accepted request → last completion, in
-/// nanoseconds relative to a shared epoch (the dispatcher's construction
-/// instant). Lock-free: ingestion stamps the first acceptance with
+/// nanoseconds relative to the dispatcher's [`Clock`] epoch (its
+/// construction instant — the same epoch every [`Timeline`] stamp uses,
+/// so callers pass in stamps they already took instead of re-reading the
+/// clock). Lock-free: ingestion stamps the first acceptance with
 /// `fetch_min`, every completing job stamps `fetch_max`. Throughput
 /// reported over this window measures the system *while it served*,
 /// not however long it happened to sit idle before traffic arrived.
 struct ServingWindow {
-    epoch: Instant,
     first_ns: AtomicU64,
     last_ns: AtomicU64,
 }
 
 impl ServingWindow {
-    fn new(epoch: Instant) -> Self {
+    fn new() -> Self {
         ServingWindow {
-            epoch,
             first_ns: AtomicU64::new(u64::MAX),
             last_ns: AtomicU64::new(0),
         }
     }
 
-    fn now_ns(&self) -> u64 {
-        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    /// Stamps an accepted request (called by ingestion on pickup, with
+    /// the acceptance stamp it just took).
+    fn mark_accept(&self, now_ns: u64) {
+        self.first_ns.fetch_min(now_ns, Ordering::Relaxed);
     }
 
-    /// Stamps an accepted request (called by ingestion on pickup).
-    fn mark_accept(&self) {
-        self.first_ns.fetch_min(self.now_ns(), Ordering::Relaxed);
-    }
-
-    /// Stamps a completed job (ticketed or mirror copy).
-    fn mark_complete(&self) {
-        self.last_ns.fetch_max(self.now_ns(), Ordering::Relaxed);
+    /// Stamps a completed job (ticketed or mirror copy), with the job's
+    /// completion stamp.
+    fn mark_complete(&self, now_ns: u64) {
+        self.last_ns.fetch_max(now_ns, Ordering::Relaxed);
     }
 
     /// Width of the window in seconds; 0 when nothing was served.
@@ -228,6 +236,10 @@ struct ShardState {
     /// backend's round-cost model.
     modelled_cycles: AtomicU64,
     dag_ops: AtomicU64,
+    /// Per-request latency distributions of this shard. Written only by
+    /// the shard's worker thread; read (merged) at shutdown, after every
+    /// worker has been joined, so the lock is never contended.
+    latency: Mutex<LatencyReport>,
 }
 
 /// Counters kept by the ingestion thread, returned when it exits.
@@ -262,6 +274,10 @@ pub struct ShardReport {
     /// Final program-cache statistics (zero for backends that never
     /// compile).
     pub cache: CacheStats,
+    /// This shard's per-request latency distributions (successful
+    /// requests only). [`DispatchReport::latency`] is the order-
+    /// independent merge of these across primary shards.
+    pub latency: LatencyReport,
 }
 
 /// Live per-platform aggregate over a dispatcher's shards — one row of
@@ -357,6 +373,14 @@ pub struct DispatchReport {
     /// `host_seconds` total, kept as its own field so dashboards and
     /// baselines switch to the serving window consciously, not silently.
     pub lifetime_seconds: f64,
+    /// Per-request latency distributions over the **primary** shards,
+    /// merged from [`ShardReport::latency`]. The host-time histograms
+    /// (queueing, batching, service, total) measure this machine; the
+    /// modelled [`LatencyReport::service_cycles`] histogram is a pure
+    /// function of the request stream — byte-identical across shard
+    /// counts, stealing, and timing — and is what CI gates. Mirror shards
+    /// are observers and contribute nothing here.
+    pub latency: LatencyReport,
 }
 
 impl DispatchReport {
@@ -481,6 +505,7 @@ pub struct Dispatcher {
     options: DispatchOptions,
     started: Instant,
     window: Arc<ServingWindow>,
+    clock: Arc<Clock>,
     /// Filled by [`Dispatcher::stop`] so `shutdown` can build the report
     /// after `Drop`-safe teardown.
     final_ingest_stats: Option<IngestStats>,
@@ -579,6 +604,7 @@ impl Dispatcher {
                     stolen: AtomicU64::new(0),
                     modelled_cycles: AtomicU64::new(0),
                     dag_ops: AtomicU64::new(0),
+                    latency: Mutex::new(LatencyReport::default()),
                 })
             })
             .collect();
@@ -619,16 +645,20 @@ impl Dispatcher {
         let (tx, rx) = crossbeam::channel::unbounded::<Job>();
         let shut_down = Arc::new(RwLock::new(false));
         let started = Instant::now();
-        let window = Arc::new(ServingWindow::new(started));
+        let window = Arc::new(ServingWindow::new());
+        let clock = Arc::new(Clock::from_epoch(started));
 
         let ingest = {
             let queues = Arc::clone(&queues);
             let in_flight = Arc::clone(&in_flight);
             let window = Arc::clone(&window);
+            let clock = Arc::clone(&clock);
             let options = options.clone();
             std::thread::Builder::new()
                 .name("dpu-ingest".into())
-                .spawn(move || ingest_loop(&rx, &queues, &in_flight, &window, p, n, &options))
+                .spawn(move || {
+                    ingest_loop(&rx, &queues, &in_flight, &window, &clock, p, n, &options)
+                })
                 .expect("spawn ingest thread")
         };
 
@@ -639,6 +669,7 @@ impl Dispatcher {
                 let in_flight = Arc::clone(&in_flight);
                 let steal_class = Arc::clone(&steal_class);
                 let window = Arc::clone(&window);
+                let clock = Arc::clone(&clock);
                 let options = options.clone();
                 std::thread::Builder::new()
                     .name(format!("dpu-shard-{i}"))
@@ -649,6 +680,7 @@ impl Dispatcher {
                             &queues,
                             &in_flight,
                             &window,
+                            &clock,
                             &steal_class,
                             &options,
                         )
@@ -669,6 +701,7 @@ impl Dispatcher {
             options,
             started,
             window,
+            clock,
             final_ingest_stats: None,
         }
     }
@@ -703,7 +736,11 @@ impl Dispatcher {
     /// A new submission handle. Cheap; clone freely across producer
     /// threads.
     pub fn submitter(&self) -> Submitter {
-        Submitter::new(self.tx.clone(), Arc::clone(&self.shut_down))
+        Submitter::new(
+            self.tx.clone(),
+            Arc::clone(&self.shut_down),
+            Arc::clone(&self.clock),
+        )
     }
 
     /// Pre-warms every shard that supports it from its spill store (see
@@ -767,8 +804,15 @@ impl Dispatcher {
                 dag_ops: s.dag_ops.load(Ordering::Relaxed),
                 power_w: s.backend.power_w(),
                 cache: s.backend.cache_stats(),
+                latency: s.latency.lock().expect("latency poisoned").clone(),
             })
             .collect();
+        // Merge the primaries' latency distributions; fold order cannot
+        // matter (histogram merge is associative and commutative).
+        let mut latency = LatencyReport::default();
+        for s in shards.iter().filter(|s| !s.mirror) {
+            latency.merge(&s.latency);
+        }
         DispatchReport {
             submitted: ingest.submitted,
             served: shards
@@ -783,6 +827,7 @@ impl Dispatcher {
             shards,
             host_seconds: self.window.seconds(),
             lifetime_seconds: self.started.elapsed().as_secs_f64(),
+            latency,
         }
     }
 
@@ -823,17 +868,24 @@ impl Drop for Dispatcher {
     }
 }
 
-/// One pending job: a request plus its completion handle (`None` on
-/// mirror copies).
-type PendingJob = (Request, Option<Arc<TicketState>>);
+/// One pending job: a request, its completion handle (`None` on mirror
+/// copies), and its in-progress latency timeline (stamped by the
+/// ingestion thread through round close, then by the executing shard).
+struct TrackedJob {
+    request: Request,
+    ticket: Option<Arc<TicketState>>,
+    timeline: Timeline,
+}
 
 /// The ingestion loop: route among `p` primaries, fan copies out to the
 /// mirror shards `p..n`, accumulate, close rounds adaptively.
+#[allow(clippy::too_many_arguments)]
 fn ingest_loop(
     rx: &crossbeam::channel::Receiver<Job>,
     queues: &Queues,
     in_flight: &InFlight,
     window: &ServingWindow,
+    clock: &Clock,
     p: usize,
     n: usize,
     options: &DispatchOptions,
@@ -841,18 +893,20 @@ fn ingest_loop(
     use crossbeam::channel::RecvTimeoutError;
 
     let mut stats = IngestStats::default();
-    let mut pending: Vec<Vec<PendingJob>> = (0..n).map(|_| Vec::new()).collect();
+    let mut pending: Vec<Vec<TrackedJob>> = (0..n).map(|_| Vec::new()).collect();
     let mut first_at: Vec<Option<Instant>> = vec![None; n];
 
     let close =
-        |s: usize, pending: &mut Vec<Vec<PendingJob>>, first_at: &mut Vec<Option<Instant>>| {
+        |s: usize, pending: &mut Vec<Vec<TrackedJob>>, first_at: &mut Vec<Option<Instant>>| {
             if pending[s].is_empty() {
                 return false;
             }
-            let round = Round {
-                home: s,
-                jobs: std::mem::take(&mut pending[s]),
-            };
+            let mut jobs = std::mem::take(&mut pending[s]);
+            let closed_ns = clock.now_ns();
+            for job in &mut jobs {
+                job.timeline.round_closed_ns = closed_ns;
+            }
+            let round = Round { home: s, jobs };
             first_at[s] = None;
             let mut qs = queues.inner.lock().expect("queues poisoned");
             qs[s].rounds.push_back(round);
@@ -863,8 +917,8 @@ fn ingest_loop(
 
     // Appends one job to shard `s`'s pending round, closing it when full.
     let push = |s: usize,
-                job: PendingJob,
-                pending: &mut Vec<Vec<PendingJob>>,
+                job: TrackedJob,
+                pending: &mut Vec<Vec<TrackedJob>>,
                 first_at: &mut Vec<Option<Instant>>,
                 stats: &mut IngestStats| {
         in_flight.inc();
@@ -907,15 +961,25 @@ fn ingest_loop(
         };
 
         match msg {
-            Some(Job::Request(request, ticket)) => {
+            Some(Job::Request(request, ticket, arrival_ns)) => {
                 stats.submitted += 1;
-                window.mark_accept();
+                let accepted_ns = clock.now_ns();
+                window.mark_accept(accepted_ns);
+                let timeline = Timeline {
+                    arrival_ns,
+                    accepted_ns,
+                    ..Timeline::default()
+                };
                 let s = home_shard(request.dag, p);
                 // Mirror copies first (so `request` moves last).
                 for m in p..n {
                     push(
                         m,
-                        (request.clone(), None),
+                        TrackedJob {
+                            request: request.clone(),
+                            ticket: None,
+                            timeline,
+                        },
                         &mut pending,
                         &mut first_at,
                         &mut stats,
@@ -923,7 +987,11 @@ fn ingest_loop(
                 }
                 push(
                     s,
-                    (request, Some(ticket)),
+                    TrackedJob {
+                        request,
+                        ticket: Some(ticket),
+                        timeline,
+                    },
                     &mut pending,
                     &mut first_at,
                     &mut stats,
@@ -958,13 +1026,15 @@ fn ingest_loop(
 }
 
 /// One shard's worker loop: pop own rounds, steal when idle, execute on
-/// the shard's backend, fulfill tickets.
+/// the shard's backend, stamp/record latency, fulfill tickets.
+#[allow(clippy::too_many_arguments)]
 fn shard_loop(
     me: usize,
     shards: &[Arc<ShardState>],
     queues: &Queues,
     in_flight: &InFlight,
     window: &ServingWindow,
+    clock: &Clock,
     steal_class: &[usize],
     options: &DispatchOptions,
 ) {
@@ -974,7 +1044,7 @@ fn shard_loop(
 
     loop {
         let round = next_round(me, queues, steal_class, options.work_stealing);
-        let Some(round) = round else {
+        let Some(mut round) = round else {
             return; // all queues I can serve are closed and empty
         };
         if round.home != me {
@@ -982,18 +1052,28 @@ fn shard_loop(
         }
         my.rounds.fetch_add(1, Ordering::Relaxed);
         costs.clear();
-        for (request, ticket) in &round.jobs {
-            let result = my.backend.execute(&mut scratch, request);
+        // The latency lock is uncontended here: only this shard's worker
+        // writes it, and shutdown reads it after joining every worker.
+        let mut latency = my.latency.lock().expect("latency poisoned");
+        for job in &mut round.jobs {
+            job.timeline.execute_start_ns = clock.now_ns();
+            let result = my.backend.execute(&mut scratch, &job.request);
             if let Ok(res) = &result {
                 costs.push(res.cycles);
                 my.dag_ops.fetch_add(res.dag_ops, Ordering::Relaxed);
+                job.timeline.service_cycles = res.cycles;
             }
-            if let Some(ticket) = ticket {
-                ticket.fulfill(result);
+            job.timeline.completed_ns = clock.now_ns();
+            if result.is_ok() {
+                latency.record(&job.timeline);
             }
-            window.mark_complete();
+            if let Some(ticket) = &job.ticket {
+                ticket.fulfill(result, job.timeline);
+            }
+            window.mark_complete(job.timeline.completed_ns);
             in_flight.dec();
         }
+        drop(latency);
         my.requests
             .fetch_add(round.jobs.len() as u64, Ordering::Relaxed);
         if !costs.is_empty() {

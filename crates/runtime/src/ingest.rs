@@ -17,10 +17,11 @@
 //! FIFO channel every accepted request precedes the marker.
 
 use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dpu_sim::RunResult;
 
+use crate::latency::{Clock, Timeline};
 use crate::pool::{Request, ServeError};
 
 /// Error returned by [`Submitter::submit`]: the dispatcher has shut down
@@ -73,11 +74,19 @@ impl std::fmt::Display for SubmitAllError {
 
 impl std::error::Error for SubmitAllError {}
 
+/// What a shard hands back through a ticket: the request's result plus
+/// the completed latency [`Timeline`].
+#[derive(Debug)]
+pub(crate) struct Completion {
+    pub(crate) result: Result<RunResult, ServeError>,
+    pub(crate) timeline: Timeline,
+}
+
 /// Completion state shared between a [`Ticket`] and the shard thread that
 /// fulfills it.
 #[derive(Debug)]
 pub(crate) struct TicketState {
-    slot: Mutex<Option<Result<RunResult, ServeError>>>,
+    slot: Mutex<Option<Completion>>,
     done: Condvar,
 }
 
@@ -91,10 +100,10 @@ impl TicketState {
 
     /// Completes the ticket. Called exactly once per accepted request, by
     /// whichever shard executed it.
-    pub(crate) fn fulfill(&self, result: Result<RunResult, ServeError>) {
+    pub(crate) fn fulfill(&self, result: Result<RunResult, ServeError>, timeline: Timeline) {
         let mut slot = self.slot.lock().expect("ticket poisoned");
         debug_assert!(slot.is_none(), "ticket fulfilled twice");
-        *slot = Some(result);
+        *slot = Some(Completion { result, timeline });
         drop(slot);
         self.done.notify_all();
     }
@@ -116,19 +125,42 @@ impl Ticket {
         Ticket { state }
     }
 
-    /// Blocks until the request completes and returns its result.
+    /// Blocks until the request completes and returns its result. Use
+    /// [`Ticket::wait_detailed`] to also receive the per-request latency
+    /// [`Timeline`].
     ///
     /// # Errors
     ///
     /// The request's [`ServeError`], if it failed.
     pub fn wait(self) -> Result<RunResult, ServeError> {
+        self.wait_detailed().0
+    }
+
+    /// Blocks until the request completes and returns its result together
+    /// with the completed latency [`Timeline`] (arrival → accepted →
+    /// round-closed → execute-start → completed stamps, plus the modelled
+    /// service cycles). The timeline is present whether the request
+    /// succeeded or failed.
+    pub fn wait_detailed(self) -> (Result<RunResult, ServeError>, Timeline) {
         let mut slot = self.state.slot.lock().expect("ticket poisoned");
         loop {
-            if let Some(result) = slot.take() {
-                return result;
+            if let Some(completion) = slot.take() {
+                return (completion.result, completion.timeline);
             }
             slot = self.state.done.wait(slot).expect("ticket poisoned");
         }
+    }
+
+    /// The request's latency [`Timeline`], once it has completed (`None`
+    /// while in flight). Non-consuming, so it can be polled alongside
+    /// [`Ticket::is_done`].
+    pub fn timeline(&self) -> Option<Timeline> {
+        self.state
+            .slot
+            .lock()
+            .expect("ticket poisoned")
+            .as_ref()
+            .map(|c| c.timeline)
     }
 
     /// Like [`Ticket::wait`] with a bound: returns the ticket back as
@@ -138,11 +170,27 @@ impl Ticket {
     ///
     /// `Err(self)` on timeout — the ticket remains valid.
     pub fn wait_timeout(self, timeout: Duration) -> Result<Result<RunResult, ServeError>, Ticket> {
+        self.wait_timeout_detailed(timeout)
+            .map(|(result, _)| result)
+    }
+
+    /// Like [`Ticket::wait_detailed`] with a bound: result plus completed
+    /// [`Timeline`] on completion, or the ticket back as `Err` if
+    /// `timeout` elapses first — the bounded-wait + latency combination
+    /// SLO enforcement needs.
+    ///
+    /// # Errors
+    ///
+    /// `Err(self)` on timeout — the ticket remains valid.
+    pub fn wait_timeout_detailed(
+        self,
+        timeout: Duration,
+    ) -> Result<(Result<RunResult, ServeError>, Timeline), Ticket> {
         let deadline = std::time::Instant::now() + timeout;
         let mut slot = self.state.slot.lock().expect("ticket poisoned");
         loop {
-            if let Some(result) = slot.take() {
-                return Ok(result);
+            if let Some(completion) = slot.take() {
+                return Ok((completion.result, completion.timeline));
             }
             let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
                 drop(slot);
@@ -187,8 +235,9 @@ impl Gate {
 
 /// Messages flowing through the ingestion channel.
 pub(crate) enum Job {
-    /// An accepted request plus its completion handle.
-    Request(Request, Arc<TicketState>),
+    /// An accepted request, its completion handle, and its scheduled
+    /// arrival stamp (nanoseconds from the dispatcher's clock epoch).
+    Request(Request, Arc<TicketState>, u64),
     /// Close every pending round now (latency escape hatch); open the
     /// gate once done.
     Flush(Arc<Gate>),
@@ -205,6 +254,7 @@ pub(crate) enum Job {
 pub struct Submitter {
     tx: crossbeam::channel::Sender<Job>,
     shut_down: Arc<RwLock<bool>>,
+    clock: Arc<Clock>,
 }
 
 impl std::fmt::Debug for Submitter {
@@ -216,12 +266,22 @@ impl std::fmt::Debug for Submitter {
 }
 
 impl Submitter {
-    pub(crate) fn new(tx: crossbeam::channel::Sender<Job>, shut_down: Arc<RwLock<bool>>) -> Self {
-        Submitter { tx, shut_down }
+    pub(crate) fn new(
+        tx: crossbeam::channel::Sender<Job>,
+        shut_down: Arc<RwLock<bool>>,
+        clock: Arc<Clock>,
+    ) -> Self {
+        Submitter {
+            tx,
+            shut_down,
+            clock,
+        }
     }
 
     /// Submits one request for asynchronous execution, returning its
-    /// completion [`Ticket`].
+    /// completion [`Ticket`]. The request's timeline records *now* as its
+    /// arrival; use [`Submitter::submit_at`] when replaying a schedule
+    /// whose intended arrival differs from the submit instant.
     ///
     /// # Errors
     ///
@@ -229,6 +289,26 @@ impl Submitter {
     /// has shut down. An `Ok` return means the request **will** be served:
     /// the ticket is always fulfilled.
     pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
+        let arrival_ns = self.clock.now_ns();
+        self.submit_stamped(request, arrival_ns)
+    }
+
+    /// Submits one request whose *scheduled* arrival is `scheduled` — the
+    /// open-loop replay path. The timeline's arrival stamp is the
+    /// schedule's intended instant (clamped to the dispatcher's epoch),
+    /// so reported end-to-end latency charges the system for any lag
+    /// between the schedule and the actual submit, exactly as an
+    /// open-loop client would.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`], as [`Submitter::submit`].
+    pub fn submit_at(&self, request: Request, scheduled: Instant) -> Result<Ticket, SubmitError> {
+        let arrival_ns = self.clock.ns_at(scheduled);
+        self.submit_stamped(request, arrival_ns)
+    }
+
+    fn submit_stamped(&self, request: Request, arrival_ns: u64) -> Result<Ticket, SubmitError> {
         // Hold the read lock across the send: shutdown takes the write
         // lock before enqueueing its marker, so an accepted request always
         // precedes the marker on the FIFO channel (loss-freedom).
@@ -237,9 +317,12 @@ impl Submitter {
             return Err(SubmitError(request));
         }
         let state = TicketState::new();
-        match self.tx.send(Job::Request(request, Arc::clone(&state))) {
+        match self
+            .tx
+            .send(Job::Request(request, Arc::clone(&state), arrival_ns))
+        {
             Ok(()) => Ok(Ticket::new(state)),
-            Err(crossbeam::channel::SendError(Job::Request(request, _))) => {
+            Err(crossbeam::channel::SendError(Job::Request(request, _, _))) => {
                 Err(SubmitError(request))
             }
             Err(_) => unreachable!("send returns the job it was given"),

@@ -29,7 +29,12 @@
 //!   shards by its [`DagKey`] (warm-cache affinity) with work
 //!   stealing when a shard backs up, and results come back through
 //!   per-request [`Ticket`] completion handles. Shutdown is deterministic
-//!   and loss-free.
+//!   and loss-free. Every ticketed request carries a latency [`Timeline`]
+//!   (arrival → accepted → round-closed → execute-start → completed), and
+//!   the dispatcher aggregates per-shard mergeable [`LatencyHistogram`]s
+//!   into [`DispatchReport::latency`](dispatch::DispatchReport::latency)
+//!   — p50/p99/p999 queueing, batching, service and end-to-end response
+//!   time, the closed-loop half of the serving claim.
 //! - [`Backend`] is the dispatcher's execution seam: a shard can be a
 //!   simulated DPU-v2 [`Engine`] **or** an analytic baseline platform
 //!   ([`BaselineBackend`] over `dpu_baselines::BaselineModel` — the
@@ -89,6 +94,7 @@ pub mod backend;
 pub mod cache;
 pub mod dispatch;
 pub mod ingest;
+pub mod latency;
 pub mod planner;
 pub mod pool;
 
@@ -98,6 +104,7 @@ pub use dispatch::{
     home_shard, DispatchOptions, DispatchReport, Dispatcher, PlatformSummary, ShardReport,
 };
 pub use ingest::{SubmitAllError, SubmitError, Submitter, Ticket};
+pub use latency::{Clock, LatencyHistogram, LatencyReport, Timeline};
 pub use planner::{plan_rounds, BatchPlan, RoundPlan};
 pub use pool::{Engine, EngineOptions, Request, ServeError, ServingReport};
 

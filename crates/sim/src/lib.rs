@@ -46,8 +46,6 @@
 //! # }
 //! ```
 
-use std::collections::HashMap;
-
 use dpu_compiler::Compiled;
 use dpu_dag::eval;
 use dpu_isa::{encode, ArchConfig, Instr, PeOpcode, Program};
@@ -219,8 +217,18 @@ pub struct Machine {
     /// path resets per request.
     dirty_rows: Vec<u32>,
     dirty: Vec<bool>,
-    /// In-flight exec writebacks: land at the *end* of the keyed cycle.
-    pending: HashMap<u64, Vec<(u32, f32)>>,
+    /// In-flight exec writebacks as a ring of `D+1` slots indexed by
+    /// `cycle % (D+1)`: an `exec` issued at cycle `c` lands at the end of
+    /// cycle `c + D`, so at most `D+1` distinct cycles ever hold
+    /// writebacks and slot reuse cannot collide (the slot for `c + D` was
+    /// drained at cycle `c - 1`). This replaces the per-machine
+    /// `HashMap<u64, Vec<_>>` the hot path used to hash into on every
+    /// `exec` and every drain probe — the ring is two array indexings and
+    /// keeps each slot's `Vec` capacity warm across requests.
+    pending: Vec<Vec<(u32, f32)>>,
+    /// Writebacks currently in flight across all ring slots (the drain
+    /// loops run until this reaches zero).
+    pending_count: usize,
     cycle: u64,
     activity: Activity,
     /// Reusable per-machine scratch for [`Machine::step`]'s hot path, so
@@ -257,7 +265,8 @@ impl Machine {
             data: vec![vec![0.0; cfg.banks as usize]; cfg.data_mem_rows as usize],
             dirty_rows: Vec::new(),
             dirty: vec![false; cfg.data_mem_rows as usize],
-            pending: HashMap::new(),
+            pending: vec![Vec::new(); cfg.depth as usize + 1],
+            pending_count: 0,
             cycle: 0,
             activity: Activity::default(),
             scratch: Scratch::default(),
@@ -288,7 +297,10 @@ impl Machine {
             self.dirty[row as usize] = false;
         }
         self.dirty_rows.clear();
-        self.pending.clear();
+        for slot in &mut self.pending {
+            slot.clear();
+        }
+        self.pending_count = 0;
         self.cycle = 0;
         self.activity = Activity::default();
     }
@@ -375,19 +387,28 @@ impl Machine {
     /// cycle. `extra_writes` lists banks already written this cycle by the
     /// issuing instruction (write-port conflict detection).
     fn land_pending(&mut self, extra_writes: &[u32]) -> Result<(), SimError> {
-        if let Some(list) = self.pending.remove(&self.cycle) {
-            let mut seen: Vec<u32> = extra_writes.to_vec();
-            for (bank, value) in list {
-                if seen.contains(&bank) {
-                    return Err(SimError::WritePortClash {
-                        bank,
-                        cycle: self.cycle,
-                    });
-                }
-                seen.push(bank);
-                self.auto_write(bank, value)?;
-            }
+        let slot = (self.cycle % self.pending.len() as u64) as usize;
+        if self.pending[slot].is_empty() {
+            return Ok(());
         }
+        // Take the slot's buffer (the register file is borrowed mutably
+        // below), then hand it back cleared so its capacity stays warm.
+        let list = std::mem::take(&mut self.pending[slot]);
+        self.pending_count -= list.len();
+        let mut seen: Vec<u32> = extra_writes.to_vec();
+        for &(bank, value) in &list {
+            if seen.contains(&bank) {
+                return Err(SimError::WritePortClash {
+                    bank,
+                    cycle: self.cycle,
+                });
+            }
+            seen.push(bank);
+            self.auto_write(bank, value)?;
+        }
+        let mut list = list;
+        list.clear();
+        self.pending[slot] = list;
         Ok(())
     }
 
@@ -537,17 +558,17 @@ impl Machine {
                         }
                     }
                 }
-                // 3. Schedule writebacks for cycle + D.
+                // 3. Schedule writebacks for cycle + D (its ring slot is
+                // necessarily empty: it drained at cycle - 1).
                 let land_at = self.cycle + u64::from(cfg.depth);
+                let slot = (land_at % self.pending.len() as u64) as usize;
                 for (bank, w) in e.writes.iter().enumerate() {
                     let Some(pe) = w else { continue };
                     let outs = &layer_out[(pe.layer - 1) as usize];
                     let v = outs[(pe.tree * cfg.pes_in_layer(pe.layer) + pe.index) as usize]
                         .ok_or(SimError::IdlePeWriteback { bank: bank as u32 })?;
-                    self.pending
-                        .entry(land_at)
-                        .or_default()
-                        .push((bank as u32, v));
+                    self.pending[slot].push((bank as u32, v));
+                    self.pending_count += 1;
                 }
                 self.scratch.ports = port_vals;
                 self.scratch.fetched = fetched;
@@ -571,7 +592,7 @@ impl Machine {
             self.activity.instr_bits_fetched += il;
         }
         // Drain the pipeline.
-        while !self.pending.is_empty() {
+        while self.pending_count > 0 {
             self.land_pending(&[])?;
             self.cycle += 1;
         }
@@ -598,7 +619,7 @@ impl Machine {
             self.step(&instr)?;
             self.activity.instr_bits_fetched += il;
         }
-        while !self.pending.is_empty() {
+        while self.pending_count > 0 {
             self.land_pending(&[])?;
             self.cycle += 1;
         }

@@ -16,7 +16,7 @@
 //! Everything is seeded: the same [`TrafficParams`] always produce the
 //! same schedule, on every platform.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -37,6 +37,18 @@ pub enum ArrivalPattern {
         /// Requests per burst.
         burst: usize,
     },
+}
+
+impl ArrivalPattern {
+    /// Stable machine-friendly name of the pattern — serving benchmarks
+    /// key their per-pattern report sections on it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalPattern::Uniform => "uniform",
+            ArrivalPattern::Poisson => "poisson",
+            ArrivalPattern::Bursty { .. } => "bursty",
+        }
+    }
 }
 
 /// Parameters of an open-loop traffic stream.
@@ -82,6 +94,17 @@ pub struct Arrival {
     pub family: usize,
     /// Stream-wide sequence number, for per-request input variation.
     pub seq: usize,
+}
+
+impl Arrival {
+    /// The absolute instant of this arrival for a replay that started at
+    /// `start` — the scheduled submission time latency accounting charges
+    /// the serving system from (see the runtime's `Submitter::submit_at`),
+    /// so reported response times include any lag between the schedule
+    /// and the actual submit.
+    pub fn instant(&self, start: Instant) -> Instant {
+        start + self.at
+    }
 }
 
 /// Generates the arrival schedule for `params`: `requests` arrivals with
@@ -230,6 +253,20 @@ mod tests {
         // Long-run rate is preserved: 40 requests spanning 5 gaps.
         let span = s.last().unwrap().at.as_secs_f64() + 0.0;
         assert!((span - 4.0 * 0.008).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pattern_names_are_stable_and_instants_track_offsets() {
+        assert_eq!(ArrivalPattern::Uniform.name(), "uniform");
+        assert_eq!(ArrivalPattern::Poisson.name(), "poisson");
+        assert_eq!(ArrivalPattern::Bursty { burst: 8 }.name(), "bursty");
+        let start = Instant::now();
+        let a = Arrival {
+            at: Duration::from_millis(5),
+            family: 0,
+            seq: 0,
+        };
+        assert_eq!(a.instant(start) - start, Duration::from_millis(5));
     }
 
     #[test]
