@@ -34,6 +34,17 @@
 //!   (the same hardening the cache miss-rate gate applies to hit rates).
 //!   Host-time latency (the open-loop section) varies by machine and is
 //!   recorded, not gated.
+//! - The overload phase (`graceful_degradation`, 2× saturation with a
+//!   priority mix) is gated on **honesty and goodput**, not raw counts:
+//!   the admission ledger must balance exactly (per class and in total,
+//!   `offered == completed + shed + rejected` — recomputed here, not
+//!   trusted from the bench's own `honest` flag), interactive p99 must
+//!   stay inside the phase's declared latency budget, at least one
+//!   interactive request must actually complete (so "shed everything"
+//!   can't fake a pass), and `interactive_goodput_ratio` — of the
+//!   interactive requests served, the fraction inside the budget —
+//!   ratchets higher-is-better. Raw shed/reject counts are host-load
+//!   dependent and are recorded, never gated.
 //!
 //! Usage:
 //! `cargo run --release -p dpu-bench --bin bench_gate -- \
@@ -311,6 +322,104 @@ fn run() -> Result<(), String> {
                 })?;
             failed |= gate_higher_better(&format!("baseline_compare.{name}.gops"), c, b, tol);
         }
+    }
+
+    // Overload behavior: the graceful-degradation phase is gated on
+    // honesty (the admission ledger must balance exactly — recomputed
+    // here from the per-class counts, not taken on faith), on the
+    // interactive tail staying inside the phase's declared budget, and on
+    // the goodput ratio ratcheting up. Raw shed/reject counts vary with
+    // host load and are recorded, never gated.
+    if let Some(base_deg) = baseline.get("graceful_degradation") {
+        let cur_deg = current.get("graceful_degradation").ok_or_else(|| {
+            format!(
+                "{}: graceful_degradation section missing (baseline has it)",
+                args.current
+            )
+        })?;
+        for flag in ["verified", "honest"] {
+            if cur_deg.get(flag).and_then(Json::as_bool) != Some(true) {
+                return Err(format!(
+                    "{}: graceful_degradation.{flag} is not true",
+                    args.current
+                ));
+            }
+        }
+        // Recompute the honesty equation from the per-class ledger: every
+        // offered request must be accounted for as completed, shed, or
+        // rejected — exactly, per class and in aggregate. A bench that
+        // loses track of work must not pass by setting its own flag.
+        let classes = cur_deg
+            .get("classes")
+            .ok_or_else(|| format!("{}: graceful_degradation.classes missing", args.current))?;
+        let Json::Obj(class_entries) = classes else {
+            return Err(format!(
+                "{}: graceful_degradation.classes is not an object",
+                args.current
+            ));
+        };
+        let (mut offered_sum, mut settled_sum) = (0.0, 0.0);
+        for (class, entry) in class_entries {
+            let field = |key: &str| {
+                entry.get(key).and_then(Json::as_f64).ok_or_else(|| {
+                    format!(
+                        "{}: graceful_degradation.classes.{class}.{key} missing",
+                        args.current
+                    )
+                })
+            };
+            let offered = field("offered")?;
+            let settled = field("completed")? + field("shed")? + field("rejected")?;
+            if offered != settled {
+                return Err(format!(
+                    "{}: graceful_degradation ledger imbalance for class `{class}`: \
+                     offered {offered} != completed + shed + rejected {settled}",
+                    args.current
+                ));
+            }
+            offered_sum += offered;
+            settled_sum += settled;
+        }
+        let offered_total = num(cur_deg, "offered", &args.current)?;
+        if offered_sum != offered_total || settled_sum != offered_total {
+            return Err(format!(
+                "{}: graceful_degradation ledger imbalance in aggregate: \
+                 offered {offered_total}, class offered sum {offered_sum}, \
+                 class settled sum {settled_sum}",
+                args.current
+            ));
+        }
+        // The interactive tail must stay inside the budget the phase
+        // itself declared, and shedding everything must not count as a
+        // pass — goodput is only meaningful over actual completions.
+        let p99 = num(cur_deg, "interactive_p99_ms", &args.current)?;
+        let budget = num(cur_deg, "p99_budget_ms", &args.current)?;
+        if p99 > budget {
+            println!(
+                "bench-gate: graceful_degradation.interactive_p99_ms: \
+                 current {p99:.4} vs budget {budget:.4} FAIL (over budget)"
+            );
+            failed = true;
+        } else {
+            println!(
+                "bench-gate: graceful_degradation.interactive_p99_ms: \
+                 current {p99:.4} vs budget {budget:.4} pass"
+            );
+        }
+        if num(cur_deg, "interactive_completed", &args.current)? < 1.0 {
+            println!(
+                "bench-gate: graceful_degradation.interactive_completed: \
+                 0 FAIL (no interactive request completed — shedding \
+                 everything is not graceful degradation)"
+            );
+            failed = true;
+        }
+        failed |= gate_higher_better(
+            "graceful_degradation.interactive_goodput_ratio",
+            num(cur_deg, "interactive_goodput_ratio", &args.current)?,
+            num(base_deg, "interactive_goodput_ratio", &args.baseline)?,
+            tol,
+        );
     }
 
     if failed {

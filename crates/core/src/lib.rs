@@ -62,10 +62,10 @@ pub mod prelude {
     pub use dpu_energy::Metrics;
     pub use dpu_isa::{ArchConfig, Topology};
     pub use dpu_runtime::{
-        Backend, BaselineBackend, CacheStats, DagKey, DispatchOptions, DispatchReport, Dispatcher,
-        Engine, EngineOptions, LatencyHistogram, LatencyReport, PlatformSummary, ProgramCache,
-        Request, ServingReport, SpillStore, StealClass, SubmitAllError, Submitter, Ticket,
-        Timeline,
+        Backend, BaselineBackend, CacheStats, ClassReport, DagKey, DispatchOptions, DispatchReport,
+        Dispatcher, Engine, EngineOptions, LatencyHistogram, LatencyReport, Outcome,
+        PlatformSummary, Priority, ProgramCache, Request, ServingReport, ShedReason, SpillStore,
+        StealClass, SubmitAllError, SubmitOptions, SubmitRejection, Submitter, Ticket, Timeline,
     };
     pub use dpu_sim::{RunResult, VerifyReport};
 }

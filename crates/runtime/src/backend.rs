@@ -32,6 +32,13 @@
 //!   shards execute ticketless shadows on the shard's own thread, so they
 //!   contribute nothing to primary latency — neither to ticket timelines
 //!   nor to [`DispatchReport::latency`](crate::DispatchReport::latency).
+//!
+//! Backends stay out of admission control entirely: deadline shedding and
+//! priority-aware round selection happen in the dispatcher *before* a
+//! round reaches this seam. A job shed for a hopeless deadline is resolved
+//! ([`Outcome::Shed`](crate::Outcome)) without ever being passed to
+//! [`Backend::execute`], so a backend never sees — and never needs to
+//! reason about — deadlines, priorities, or queue capacity.
 
 use std::any::Any;
 use std::collections::HashMap;

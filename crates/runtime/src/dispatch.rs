@@ -31,6 +31,18 @@
 //!   accounting, breaking determinism. The thief compiles through its
 //!   own cache, so stealing trades a possible cold compile for latency —
 //!   exactly the real trade-off.
+//! - **Overload protection.** Admission is bounded per home shard
+//!   ([`DispatchOptions::queue_capacity`]): a full queue rejects at the
+//!   submission edge with
+//!   [`SubmitRejection::WouldBlock`](crate::SubmitRejection) instead of
+//!   queueing without bound. Requests may carry a deadline and a
+//!   [`Priority`]: a deadline the live queueing estimate proves
+//!   unmeetable is shed *before* execution (the ticket resolves to
+//!   [`Outcome::Shed`](crate::Outcome)), interactive rounds preempt
+//!   batch rounds in packing, dispatch, and stealing, and an aging floor
+//!   ([`DispatchOptions::priority_aging`]) keeps batch work from
+//!   starving. [`DispatchReport::classes`] is the honest per-class
+//!   ledger: `offered == completed + shed + rejected`, always.
 //! - **Mirror mode.** [`Dispatcher::with_backends`] optionally takes
 //!   *mirror* shards: every accepted request is additionally executed,
 //!   ticketless, on each mirror — e.g. a DPU-v2 fleet serving the
@@ -68,7 +80,7 @@ use dpu_isa::ArchConfig;
 
 use crate::backend::Backend;
 use crate::cache::CacheStats;
-use crate::ingest::{Gate, Job, Submitter, TicketState};
+use crate::ingest::{Admission, Gate, Job, Outcome, Priority, ShedReason, Submitter, TicketState};
 use crate::latency::{Clock, LatencyReport, Timeline};
 use crate::pool::{Engine, EngineOptions, Request};
 use crate::{DagKey, DPU_V2_L_CORES};
@@ -99,6 +111,18 @@ pub struct DispatchOptions {
     /// dispatcher starts warm and one shard's compile work is visible to
     /// every other. See [`EngineOptions::spill_dir`].
     pub spill_dir: Option<std::path::PathBuf>,
+    /// Bounded admission: maximum accepted-but-unresolved requests per
+    /// home shard. A submit against a full home-shard queue fails fast
+    /// with [`SubmitRejection::WouldBlock`](crate::SubmitRejection) and a
+    /// retry hint instead of growing the ingest queue without bound.
+    /// `None` (the default) keeps admission unbounded — exactly the old
+    /// behavior.
+    pub queue_capacity: Option<usize>,
+    /// Anti-starvation floor for priority scheduling: a queued round of
+    /// any class is treated as [`Priority::Interactive`] once it has
+    /// waited this long, so sustained interactive load can delay
+    /// [`Priority::Batch`] work but never starve it forever.
+    pub priority_aging: Duration,
 }
 
 impl Default for DispatchOptions {
@@ -111,6 +135,8 @@ impl Default for DispatchOptions {
             cores: DPU_V2_L_CORES,
             cache_capacity: None,
             spill_dir: None,
+            queue_capacity: None,
+            priority_aging: Duration::from_millis(20),
         }
     }
 }
@@ -132,9 +158,31 @@ struct Round {
     /// The shard this round was routed to (its keys' home, or the mirror
     /// shard it shadows traffic for).
     home: usize,
-    /// Requests in arrival order, each with its completion handle and its
-    /// in-progress latency timeline.
+    /// The round's dispatch class: the most urgent [`Priority`] among its
+    /// jobs. Shard queues and work stealing serve interactive rounds
+    /// first (subject to the aging floor).
+    priority: Priority,
+    /// When the round closed — the reference point for
+    /// [`DispatchOptions::priority_aging`] promotion.
+    closed_at: Instant,
+    /// Requests in class-then-arrival order (interactive first within the
+    /// round), each with its completion handle and its in-progress
+    /// latency timeline.
     jobs: Vec<TrackedJob>,
+}
+
+impl Round {
+    /// Dispatch rank of the round: its class index, collapsed to the
+    /// interactive rank once the round has aged past the anti-starvation
+    /// floor. Lower dispatches first.
+    fn effective_rank(&self, aging: Duration, now: Instant) -> usize {
+        let rank = self.priority.index();
+        if rank > 0 && now.duration_since(self.closed_at) >= aging {
+            0
+        } else {
+            rank
+        }
+    }
 }
 
 /// Per-shard queue state behind the shared lock.
@@ -333,6 +381,26 @@ impl PlatformSummary {
     }
 }
 
+/// Per-priority-class slice of the admission/outcome ledger — one row of
+/// [`DispatchReport::classes`]. The honesty invariant per class (and in
+/// aggregate) is `offered == completed + shed + rejected`: every submit
+/// attempt is accounted for exactly once, never silently dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassReport {
+    /// Submit attempts of this class (`accepted + rejected`).
+    pub offered: u64,
+    /// Requests admitted past the submission edge.
+    pub accepted: u64,
+    /// Accepted requests executed to resolution (success or per-request
+    /// failure).
+    pub completed: u64,
+    /// Accepted requests shed before execution to protect a deadline.
+    pub shed: u64,
+    /// Submit attempts rejected at the edge (backpressure, shutdown, or a
+    /// stale deadline) — no ticket ever existed.
+    pub rejected: u64,
+}
+
 /// Aggregate result of a dispatcher's lifetime, returned by
 /// [`Dispatcher::shutdown`].
 ///
@@ -342,12 +410,21 @@ impl PlatformSummary {
 /// cover the **primary** shards — the serving system itself. Mirror
 /// shards are observers; they appear in [`DispatchReport::shards`] and in
 /// the per-platform comparison ([`DispatchReport::platforms`]).
+///
+/// Overload accounting lives in [`DispatchReport::classes`] (per
+/// [`Priority`] class) plus the by-kind splits: rejected-at-shutdown
+/// ([`DispatchReport::rejected_queue_closed`]) is reported separately
+/// from shed-by-deadline ([`DispatchReport::shed_unmeetable`] /
+/// [`DispatchReport::shed_expired`]) — an operator must be able to tell
+/// "the system refused new work while stopping" from "the system dropped
+/// admitted work to protect its deadlines".
 #[derive(Debug, Clone)]
 pub struct DispatchReport {
     /// Requests accepted over the dispatcher's lifetime.
     pub submitted: u64,
-    /// Requests executed on primary shards (equals `submitted`: shutdown
-    /// is loss-free).
+    /// Requests executed on primary shards (equals `submitted` minus
+    /// [`DispatchReport::shed`](DispatchReport::shed) — and exactly
+    /// `submitted` when nothing was shed: shutdown is loss-free).
     pub served: u64,
     /// Shadow executions on mirror shards (`submitted ×` mirror count
     /// when mirrors are configured).
@@ -381,11 +458,51 @@ pub struct DispatchReport {
     /// counts, stealing, and timing — and is what CI gates. Mirror shards
     /// are observers and contribute nothing here.
     pub latency: LatencyReport,
+    /// Per-priority-class admission/outcome ledger, indexed by
+    /// [`Priority::index`]. Each class (and the aggregate) satisfies
+    /// `offered == completed + shed + rejected`.
+    pub classes: [ClassReport; 3],
+    /// Rejections at the edge because the home-shard queue was at
+    /// [`DispatchOptions::queue_capacity`].
+    pub rejected_would_block: u64,
+    /// Rejections at the edge because the dispatcher had shut down —
+    /// refused work, reported apart from deadline sheds.
+    pub rejected_queue_closed: u64,
+    /// Rejections at the edge because the deadline was already past at
+    /// submit time.
+    pub rejected_deadline_past: u64,
+    /// Accepted requests shed at ingestion: the live queueing estimate
+    /// projected completion past the deadline.
+    pub shed_unmeetable: u64,
+    /// Accepted requests shed at execute time: the deadline expired while
+    /// the request sat in queue.
+    pub shed_expired: u64,
 }
 
 impl DispatchReport {
     fn primaries(&self) -> impl Iterator<Item = &ShardReport> {
         self.shards.iter().filter(|s| !s.mirror)
+    }
+
+    /// Submit attempts over the dispatcher's lifetime, all classes
+    /// (`accepted + rejected`).
+    pub fn offered(&self) -> u64 {
+        self.classes.iter().map(|c| c.offered).sum()
+    }
+
+    /// Accepted requests shed before execution, all classes.
+    pub fn shed(&self) -> u64 {
+        self.classes.iter().map(|c| c.shed).sum()
+    }
+
+    /// Submit attempts rejected at the edge, all classes.
+    pub fn rejected(&self) -> u64 {
+        self.classes.iter().map(|c| c.rejected).sum()
+    }
+
+    /// The ledger row of one [`Priority`] class.
+    pub fn class(&self, priority: Priority) -> &ClassReport {
+        &self.classes[priority.index()]
     }
 
     /// Total arithmetic DAG operations served by primary shards.
@@ -506,6 +623,7 @@ pub struct Dispatcher {
     started: Instant,
     window: Arc<ServingWindow>,
     clock: Arc<Clock>,
+    admission: Arc<Admission>,
     /// Filled by [`Dispatcher::stop`] so `shutdown` can build the report
     /// after `Drop`-safe teardown.
     final_ingest_stats: Option<IngestStats>,
@@ -647,17 +765,21 @@ impl Dispatcher {
         let started = Instant::now();
         let window = Arc::new(ServingWindow::new());
         let clock = Arc::new(Clock::from_epoch(started));
+        let admission = Arc::new(Admission::new(p, options.queue_capacity, options.max_wait));
 
         let ingest = {
             let queues = Arc::clone(&queues);
             let in_flight = Arc::clone(&in_flight);
             let window = Arc::clone(&window);
             let clock = Arc::clone(&clock);
+            let admission = Arc::clone(&admission);
             let options = options.clone();
             std::thread::Builder::new()
                 .name("dpu-ingest".into())
                 .spawn(move || {
-                    ingest_loop(&rx, &queues, &in_flight, &window, &clock, p, n, &options)
+                    ingest_loop(
+                        &rx, &queues, &in_flight, &window, &clock, &admission, p, n, &options,
+                    )
                 })
                 .expect("spawn ingest thread")
         };
@@ -670,6 +792,7 @@ impl Dispatcher {
                 let steal_class = Arc::clone(&steal_class);
                 let window = Arc::clone(&window);
                 let clock = Arc::clone(&clock);
+                let admission = Arc::clone(&admission);
                 let options = options.clone();
                 std::thread::Builder::new()
                     .name(format!("dpu-shard-{i}"))
@@ -681,6 +804,7 @@ impl Dispatcher {
                             &in_flight,
                             &window,
                             &clock,
+                            &admission,
                             &steal_class,
                             &options,
                         )
@@ -702,6 +826,7 @@ impl Dispatcher {
             started,
             window,
             clock,
+            admission,
             final_ingest_stats: None,
         }
     }
@@ -740,6 +865,7 @@ impl Dispatcher {
             self.tx.clone(),
             Arc::clone(&self.shut_down),
             Arc::clone(&self.clock),
+            Arc::clone(&self.admission),
         )
     }
 
@@ -787,7 +913,8 @@ impl Dispatcher {
     /// Stops ingestion, executes everything already accepted, joins all
     /// threads, and returns the lifetime report. Loss-free: every ticket
     /// whose submit returned `Ok` is fulfilled before this returns; later
-    /// submits fail with [`SubmitError`](crate::SubmitError).
+    /// submits are rejected with
+    /// [`SubmitRejection::QueueClosed`](crate::SubmitRejection).
     pub fn shutdown(mut self) -> DispatchReport {
         self.stop();
         let ingest = self.final_ingest_stats.unwrap_or_default();
@@ -813,6 +940,27 @@ impl Dispatcher {
         for s in shards.iter().filter(|s| !s.mirror) {
             latency.merge(&s.latency);
         }
+        // The admission ledger is coherent here: every submitter that
+        // returned has finished its counter updates (the write-locked
+        // flag flipped before the marker), and every worker is joined.
+        let adm = &self.admission;
+        let classes: [ClassReport; 3] = std::array::from_fn(|i| {
+            let accepted = adm.accepted[i].load(Ordering::Relaxed);
+            let rejected = adm.rejected[i].load(Ordering::Relaxed);
+            ClassReport {
+                offered: accepted + rejected,
+                accepted,
+                completed: adm.completed[i].load(Ordering::Relaxed),
+                shed: adm.shed[i].load(Ordering::Relaxed),
+                rejected,
+            }
+        });
+        debug_assert!(
+            classes
+                .iter()
+                .all(|c| c.offered == c.completed + c.shed + c.rejected),
+            "admission ledger dishonest: {classes:?}"
+        );
         DispatchReport {
             submitted: ingest.submitted,
             served: shards
@@ -828,6 +976,12 @@ impl Dispatcher {
             host_seconds: self.window.seconds(),
             lifetime_seconds: self.started.elapsed().as_secs_f64(),
             latency,
+            classes,
+            rejected_would_block: adm.rejected_would_block.load(Ordering::Relaxed),
+            rejected_queue_closed: adm.rejected_queue_closed.load(Ordering::Relaxed),
+            rejected_deadline_past: adm.rejected_deadline_past.load(Ordering::Relaxed),
+            shed_unmeetable: adm.shed_unmeetable.load(Ordering::Relaxed),
+            shed_expired: adm.shed_expired.load(Ordering::Relaxed),
         }
     }
 
@@ -869,16 +1023,44 @@ impl Drop for Dispatcher {
 }
 
 /// One pending job: a request, its completion handle (`None` on mirror
-/// copies), and its in-progress latency timeline (stamped by the
-/// ingestion thread through round close, then by the executing shard).
+/// copies), its priority class, and its in-progress latency timeline
+/// (stamped by the ingestion thread through round close, then by the
+/// executing shard).
 struct TrackedJob {
     request: Request,
     ticket: Option<Arc<TicketState>>,
+    priority: Priority,
     timeline: Timeline,
 }
 
+/// Per-shard pending-round state: one job list per priority class. Round
+/// closing drains interactive first, then standard, then batch — within a
+/// class, arrival order — so an interactive request never queues behind
+/// batch work inside its own round. With single-class traffic this packs
+/// exactly the old single-list order.
+struct PendingRound {
+    by_class: [Vec<TrackedJob>; 3],
+}
+
+impl PendingRound {
+    fn new() -> Self {
+        PendingRound {
+            by_class: [Vec::new(), Vec::new(), Vec::new()],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.by_class.iter().map(Vec::len).sum()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.by_class.iter().all(Vec::is_empty)
+    }
+}
+
 /// The ingestion loop: route among `p` primaries, fan copies out to the
-/// mirror shards `p..n`, accumulate, close rounds adaptively.
+/// mirror shards `p..n`, shed provably late requests at the door,
+/// accumulate, close rounds adaptively.
 #[allow(clippy::too_many_arguments)]
 fn ingest_loop(
     rx: &crossbeam::channel::Receiver<Job>,
@@ -886,6 +1068,7 @@ fn ingest_loop(
     in_flight: &InFlight,
     window: &ServingWindow,
     clock: &Clock,
+    admission: &Admission,
     p: usize,
     n: usize,
     options: &DispatchOptions,
@@ -893,39 +1076,49 @@ fn ingest_loop(
     use crossbeam::channel::RecvTimeoutError;
 
     let mut stats = IngestStats::default();
-    let mut pending: Vec<Vec<TrackedJob>> = (0..n).map(|_| Vec::new()).collect();
+    let mut pending: Vec<PendingRound> = (0..n).map(|_| PendingRound::new()).collect();
     let mut first_at: Vec<Option<Instant>> = vec![None; n];
 
-    let close =
-        |s: usize, pending: &mut Vec<Vec<TrackedJob>>, first_at: &mut Vec<Option<Instant>>| {
-            if pending[s].is_empty() {
-                return false;
-            }
-            let mut jobs = std::mem::take(&mut pending[s]);
-            let closed_ns = clock.now_ns();
-            for job in &mut jobs {
-                job.timeline.round_closed_ns = closed_ns;
-            }
-            let round = Round { home: s, jobs };
-            first_at[s] = None;
-            let mut qs = queues.inner.lock().expect("queues poisoned");
-            qs[s].rounds.push_back(round);
-            drop(qs);
-            queues.work.notify_all();
-            true
+    let close = |s: usize, pending: &mut Vec<PendingRound>, first_at: &mut Vec<Option<Instant>>| {
+        if pending[s].is_empty() {
+            return false;
+        }
+        let closed_ns = clock.now_ns();
+        let mut jobs: Vec<TrackedJob> = Vec::with_capacity(pending[s].len());
+        for class in pending[s].by_class.iter_mut() {
+            jobs.append(class);
+        }
+        let mut priority = Priority::Batch;
+        for job in &mut jobs {
+            job.timeline.round_closed_ns = closed_ns;
+            priority = priority.min(job.priority);
+        }
+        let round = Round {
+            home: s,
+            priority,
+            closed_at: Instant::now(),
+            jobs,
         };
+        first_at[s] = None;
+        let mut qs = queues.inner.lock().expect("queues poisoned");
+        qs[s].rounds.push_back(round);
+        drop(qs);
+        queues.work.notify_all();
+        true
+    };
 
     // Appends one job to shard `s`'s pending round, closing it when full.
     let push = |s: usize,
                 job: TrackedJob,
-                pending: &mut Vec<Vec<TrackedJob>>,
+                pending: &mut Vec<PendingRound>,
                 first_at: &mut Vec<Option<Instant>>,
                 stats: &mut IngestStats| {
         in_flight.inc();
         if pending[s].is_empty() {
             first_at[s] = Some(Instant::now());
         }
-        pending[s].push(job);
+        let class = job.priority.index();
+        pending[s].by_class[class].push(job);
         if pending[s].len() >= options.max_batch && close(s, pending, first_at) {
             stats.closed_full += 1;
         }
@@ -961,24 +1154,61 @@ fn ingest_loop(
         };
 
         match msg {
-            Some(Job::Request(request, ticket, arrival_ns)) => {
+            Some(Job::Request(sub)) => {
                 stats.submitted += 1;
                 let accepted_ns = clock.now_ns();
                 window.mark_accept(accepted_ns);
                 let timeline = Timeline {
-                    arrival_ns,
+                    arrival_ns: sub.arrival_ns,
                     accepted_ns,
+                    deadline_ns: sub.deadline_ns,
                     ..Timeline::default()
                 };
-                let s = home_shard(request.dag, p);
-                // Mirror copies first (so `request` moves last).
+                let s = home_shard(sub.request.dag, p);
+                // Shed-before-queue: when the live queueing + service
+                // estimate already proves the deadline unmeetable, resolve
+                // the ticket now instead of spending a round slot (and
+                // mirror executions) on a result nobody can use in time.
+                if sub.deadline_ns != 0 {
+                    let projected_ns = admission.projected_completion_ns(accepted_ns);
+                    if projected_ns > sub.deadline_ns {
+                        let mut timeline = timeline;
+                        timeline.completed_ns = clock.now_ns();
+                        window.mark_complete(timeline.completed_ns);
+                        admission.note_shed(
+                            sub.priority.index(),
+                            s,
+                            ShedReason::DeadlineUnmeetable {
+                                projected_ns,
+                                deadline_ns: sub.deadline_ns,
+                            },
+                        );
+                        sub.ticket.fulfill(
+                            Outcome::Shed {
+                                reason: ShedReason::DeadlineUnmeetable {
+                                    projected_ns,
+                                    deadline_ns: sub.deadline_ns,
+                                },
+                            },
+                            timeline,
+                        );
+                        continue;
+                    }
+                }
+                // Mirror copies first (so the request moves last). Mirror
+                // copies carry no deadline: they shadow accepted traffic
+                // for the platform comparison and are never shed.
                 for m in p..n {
                     push(
                         m,
                         TrackedJob {
-                            request: request.clone(),
+                            request: sub.request.clone(),
                             ticket: None,
-                            timeline,
+                            priority: sub.priority,
+                            timeline: Timeline {
+                                deadline_ns: 0,
+                                ..timeline
+                            },
                         },
                         &mut pending,
                         &mut first_at,
@@ -988,8 +1218,9 @@ fn ingest_loop(
                 push(
                     s,
                     TrackedJob {
-                        request,
-                        ticket: Some(ticket),
+                        request: sub.request,
+                        ticket: Some(sub.ticket),
+                        priority: sub.priority,
                         timeline,
                     },
                     &mut pending,
@@ -1025,8 +1256,9 @@ fn ingest_loop(
     }
 }
 
-/// One shard's worker loop: pop own rounds, steal when idle, execute on
-/// the shard's backend, stamp/record latency, fulfill tickets.
+/// One shard's worker loop: pop own rounds (interactive first), steal
+/// when idle, shed queue-expired deadlines, execute the rest on the
+/// shard's backend, stamp/record latency, fulfill tickets.
 #[allow(clippy::too_many_arguments)]
 fn shard_loop(
     me: usize,
@@ -1035,6 +1267,7 @@ fn shard_loop(
     in_flight: &InFlight,
     window: &ServingWindow,
     clock: &Clock,
+    admission: &Admission,
     steal_class: &[usize],
     options: &DispatchOptions,
 ) {
@@ -1043,7 +1276,13 @@ fn shard_loop(
     let mut costs: Vec<u64> = Vec::new();
 
     loop {
-        let round = next_round(me, queues, steal_class, options.work_stealing);
+        let round = next_round(
+            me,
+            queues,
+            steal_class,
+            options.work_stealing,
+            options.priority_aging,
+        );
         let Some(mut round) = round else {
             return; // all queues I can serve are closed and empty
         };
@@ -1052,12 +1291,35 @@ fn shard_loop(
         }
         my.rounds.fetch_add(1, Ordering::Relaxed);
         costs.clear();
+        let mut executed: u64 = 0;
         // The latency lock is uncontended here: only this shard's worker
         // writes it, and shutdown reads it after joining every worker.
         let mut latency = my.latency.lock().expect("latency poisoned");
         for job in &mut round.jobs {
             job.timeline.execute_start_ns = clock.now_ns();
+            // Last-chance deadline check (primary copies only — a mirror
+            // job's deadline stamp is always 0): if the deadline passed
+            // in queue, or the remaining service estimate no longer fits
+            // it, shed instead of executing.
+            if job.timeline.deadline_ns != 0 {
+                let now_ns = job.timeline.execute_start_ns;
+                if now_ns.saturating_add(admission.service_estimate()) > job.timeline.deadline_ns {
+                    job.timeline.completed_ns = clock.now_ns();
+                    let reason = ShedReason::DeadlineExpired {
+                        now_ns,
+                        deadline_ns: job.timeline.deadline_ns,
+                    };
+                    admission.note_shed(job.priority.index(), round.home, reason);
+                    if let Some(ticket) = &job.ticket {
+                        ticket.fulfill(Outcome::Shed { reason }, job.timeline);
+                    }
+                    window.mark_complete(job.timeline.completed_ns);
+                    in_flight.dec();
+                    continue;
+                }
+            }
             let result = my.backend.execute(&mut scratch, &job.request);
+            executed += 1;
             if let Ok(res) = &result {
                 costs.push(res.cycles);
                 my.dag_ops.fetch_add(res.dag_ops, Ordering::Relaxed);
@@ -1066,16 +1328,26 @@ fn shard_loop(
             job.timeline.completed_ns = clock.now_ns();
             if result.is_ok() {
                 latency.record(&job.timeline);
+                if !my.mirror {
+                    // Feed the live estimates the shed projections run on
+                    // (primary observations only — mirrors model other
+                    // hardware and would skew the serving estimate).
+                    admission.observe(job.timeline.queueing_delay_ns(), job.timeline.service_ns());
+                }
             }
             if let Some(ticket) = &job.ticket {
-                ticket.fulfill(result, job.timeline);
+                admission.note_completed(job.priority.index(), round.home);
+                let outcome = match result {
+                    Ok(res) => Outcome::Completed(res),
+                    Err(e) => Outcome::Failed(e),
+                };
+                ticket.fulfill(outcome, job.timeline);
             }
             window.mark_complete(job.timeline.completed_ns);
             in_flight.dec();
         }
         drop(latency);
-        my.requests
-            .fetch_add(round.jobs.len() as u64, Ordering::Relaxed);
+        my.requests.fetch_add(executed, Ordering::Relaxed);
         if !costs.is_empty() {
             my.modelled_cycles.fetch_add(
                 my.backend.round_cycles(&costs, options.cores),
@@ -1085,15 +1357,39 @@ fn shard_loop(
     }
 }
 
-/// Blocks until shard `me` has a round to execute: its own oldest queued
-/// round, else (with stealing) the most recently queued round of the
-/// deepest same-class backlog. Returns `None` once every queue `me` may
-/// serve is closed and empty.
-fn next_round(me: usize, queues: &Queues, steal_class: &[usize], stealing: bool) -> Option<Round> {
+/// Blocks until shard `me` has a round to execute. Selection is
+/// priority-aware on both paths:
+///
+/// - **Own queue:** the best-ranked round, oldest first within a rank
+///   ([`Round::effective_rank`] — interactive rounds jump ahead of
+///   earlier-closed batch rounds, and the aging floor promotes anything
+///   that has waited out [`DispatchOptions::priority_aging`]).
+/// - **Stealing:** from the deepest same-class backlog, the best-ranked
+///   round, *newest* first within a rank (the victim drains oldest-first,
+///   so thief and victim meet in the middle).
+///
+/// With single-class traffic and no aged rounds this degrades exactly to
+/// the old FIFO-pop / newest-steal behavior. Returns `None` once every
+/// queue `me` may serve is closed and empty.
+fn next_round(
+    me: usize,
+    queues: &Queues,
+    steal_class: &[usize],
+    stealing: bool,
+    aging: Duration,
+) -> Option<Round> {
     let mut qs = queues.inner.lock().expect("queues poisoned");
     loop {
-        if let Some(round) = qs[me].rounds.pop_front() {
-            return Some(round);
+        if !qs[me].rounds.is_empty() {
+            let now = Instant::now();
+            let best = qs[me]
+                .rounds
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, r)| (r.effective_rank(aging, now), *i))
+                .map(|(i, _)| i)
+                .expect("nonempty queue");
+            return qs[me].rounds.remove(best);
         }
         if stealing {
             // Deepest backlog among shards whose class matches mine.
@@ -1102,9 +1398,16 @@ fn next_round(me: usize, queues: &Queues, steal_class: &[usize], stealing: bool)
                 .max_by_key(|&j| qs[j].rounds.len())
                 .filter(|&j| !qs[j].rounds.is_empty());
             if let Some(j) = victim {
-                // Steal the *newest* round: the victim drains its oldest
-                // work first, so the two meet in the middle.
-                return qs[j].rounds.pop_back();
+                let now = Instant::now();
+                let len = qs[j].rounds.len();
+                let best = qs[j]
+                    .rounds
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, r)| (r.effective_rank(aging, now), len - *i))
+                    .map(|(i, _)| i)
+                    .expect("nonempty victim");
+                return qs[j].rounds.remove(best);
             }
         }
         let servable_done = |j: usize| qs[j].closed && qs[j].rounds.is_empty();

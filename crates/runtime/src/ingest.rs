@@ -1,61 +1,249 @@
-//! Async ingestion front-end: continuous request submission with
-//! per-request completion handles.
+//! Async ingestion front-end: typed request submission with bounded
+//! admission, deadlines, priorities, and per-request completion handles.
 //!
 //! [`Submitter`] is the producer half of the serving pipeline: it pushes
 //! requests into the [`Dispatcher`](crate::Dispatcher)'s ingestion channel
 //! and hands back a [`Ticket`] per request — a synchronous future the
-//! caller blocks on (or polls) for that request's [`RunResult`]. Any
+//! caller blocks on (or polls) for that request's [`Outcome`]. Any
 //! number of `Submitter` clones can feed the same dispatcher from any
 //! number of threads; the channel is FIFO across all of them.
 //!
-//! Loss-freedom contract: a [`Submitter::submit`] that returns `Ok` is
-//! **accepted** — its ticket is always fulfilled (with a result or a
-//! [`ServeError`]), even if the dispatcher shuts down immediately after.
-//! This is enforced by a lock handshake: `submit` holds a read lock on the
-//! dispatcher's shutdown flag across the channel send, and shutdown takes
-//! the write lock *before* enqueueing its end-of-stream marker, so on the
-//! FIFO channel every accepted request precedes the marker.
+//! # The submission envelope
+//!
+//! [`Submitter::submit_with`] is the full entry point: a [`Request`] plus
+//! [`SubmitOptions`] carrying an optional completion **deadline**, a
+//! [`Priority`] class, and an optional **scheduled** arrival instant (the
+//! open-loop replay stamp). [`Submitter::submit`] is the convenience
+//! wrapper with default options. Admission is *bounded* when the
+//! dispatcher configures
+//! [`DispatchOptions::queue_capacity`](crate::DispatchOptions::queue_capacity):
+//! a submit against a full home-shard queue fails fast with
+//! [`SubmitRejection::WouldBlock`] and a retry hint instead of growing the
+//! queue without bound — overload surfaces at the edge, typed, rather
+//! than as unbounded memory and latency.
+//!
+//! # Outcomes, not just results
+//!
+//! An accepted request resolves to exactly one [`Outcome`]:
+//! [`Outcome::Completed`] with its [`RunResult`], [`Outcome::Shed`] when
+//! the dispatcher proved the deadline unmeetable and dropped it *before*
+//! execution (a first-class serving decision, not an error), or
+//! [`Outcome::Failed`] with the request's [`ServeError`].
+//!
+//! # Loss freedom
+//!
+//! A submit that returns `Ok` is **accepted** — its ticket is always
+//! fulfilled with an [`Outcome`], even if the dispatcher shuts down
+//! immediately after. This is enforced by a lock handshake: `submit_with`
+//! holds a read lock on the dispatcher's shutdown flag across the channel
+//! send, and shutdown takes the write lock *before* enqueueing its
+//! end-of-stream marker, so on the FIFO channel every accepted request
+//! precedes the marker.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use dpu_sim::RunResult;
 
+use crate::dispatch::home_shard;
 use crate::latency::{Clock, Timeline};
 use crate::pool::{Request, ServeError};
 
-/// Error returned by [`Submitter::submit`]: the dispatcher has shut down
-/// (the request was **not** accepted; no ticket exists). The rejected
-/// request is handed back for retry elsewhere.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SubmitError(pub Request);
+/// Urgency class of a submitted request. Interactive traffic preempts
+/// lower classes in round packing, shard-queue ordering, and work
+/// stealing; an aging floor
+/// ([`DispatchOptions::priority_aging`](crate::DispatchOptions::priority_aging))
+/// keeps [`Priority::Batch`] from starving under sustained interactive
+/// load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive foreground traffic: packed first, dispatched
+    /// first, stolen first.
+    Interactive,
+    /// The default class — exactly yesterday's behavior when every
+    /// request uses it.
+    #[default]
+    Standard,
+    /// Throughput traffic that tolerates delay; yields to the classes
+    /// above until the anti-starvation floor promotes it.
+    Batch,
+}
 
-impl std::fmt::Display for SubmitError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "submit on a shut-down dispatcher")
+impl Priority {
+    /// All classes, in preemption order (index == [`Priority::index`]).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
+
+    /// Dense index of the class (0 = interactive … 2 = batch) — the key
+    /// into per-class report arrays like
+    /// [`DispatchReport::classes`](crate::DispatchReport::classes).
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Standard => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// Lower-case class name (`"interactive"`, `"standard"`, `"batch"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Standard => "standard",
+            Priority::Batch => "batch",
+        }
     }
 }
 
-impl std::error::Error for SubmitError {}
-
-/// Error returned by [`Submitter::submit_all`] when the dispatcher shuts
-/// down mid-batch.
+/// The submission envelope accepted by [`Submitter::submit_with`]: what
+/// the bare [`Request`] payload cannot say — how urgent, how late is too
+/// late, and when the request *notionally* arrived.
 ///
-/// Loss-freedom requires more than [`SubmitError`] carries: by the time a
-/// batch submission is rejected, *earlier* requests of the batch were
-/// already accepted and **will execute** — dropping their tickets (as a
-/// plain `collect::<Result<Vec<_>, _>>()` would) makes those results
+/// The default options (`no deadline, Standard, unscheduled`) make
+/// `submit_with` behave exactly like [`Submitter::submit`] always did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Completion deadline. A request the dispatcher can prove will miss
+    /// it (live queueing estimate) is shed *before* execution and its
+    /// ticket resolves to [`Outcome::Shed`]; a deadline already past at
+    /// submit time is rejected up front
+    /// ([`SubmitRejection::DeadlineAlreadyPast`]).
+    pub deadline: Option<Instant>,
+    /// Urgency class; see [`Priority`].
+    pub priority: Priority,
+    /// Scheduled arrival instant for open-loop replay (the old
+    /// `submit_at`): the timeline's arrival stamp is the schedule's
+    /// intended instant, so reported end-to-end latency charges the
+    /// system for any lag between the schedule and the actual submit.
+    pub scheduled: Option<Instant>,
+}
+
+impl SubmitOptions {
+    /// Options whose arrival stamp is the scheduled instant `t` — the
+    /// open-loop replay constructor (the old `submit_at`).
+    pub fn at(t: Instant) -> Self {
+        SubmitOptions::default().scheduled(t)
+    }
+
+    /// Sets the completion deadline.
+    #[must_use]
+    pub fn deadline(mut self, t: Instant) -> Self {
+        self.deadline = Some(t);
+        self
+    }
+
+    /// Sets the urgency class.
+    #[must_use]
+    pub fn priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Sets the scheduled arrival instant.
+    #[must_use]
+    pub fn scheduled(mut self, t: Instant) -> Self {
+        self.scheduled = Some(t);
+        self
+    }
+}
+
+/// Typed admission verdict of [`Submitter::submit_with`]: why a request
+/// was **not** accepted (no ticket exists; the request is handed back in
+/// every variant). These are serving *decisions* — distinct from
+/// infrastructure errors — and each tells the caller what to do next:
+/// back off, fail over, or drop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitRejection {
+    /// The request's home-shard queue is at
+    /// [`DispatchOptions::queue_capacity`](crate::DispatchOptions::queue_capacity).
+    /// Back off for about `retry_after` (derived from the live queueing
+    /// estimate) and resubmit.
+    WouldBlock {
+        /// Suggested backoff before retrying.
+        retry_after: Duration,
+        /// The rejected request, handed back.
+        request: Request,
+    },
+    /// The dispatcher has shut down; no retry will succeed here.
+    QueueClosed {
+        /// The rejected request, handed back.
+        request: Request,
+    },
+    /// The submitted deadline was already in the past — executing could
+    /// only produce a result nobody can use in time.
+    DeadlineAlreadyPast {
+        /// The rejected request, handed back.
+        request: Request,
+    },
+}
+
+impl SubmitRejection {
+    /// The rejected request (borrowed).
+    pub fn request(&self) -> &Request {
+        match self {
+            SubmitRejection::WouldBlock { request, .. }
+            | SubmitRejection::QueueClosed { request }
+            | SubmitRejection::DeadlineAlreadyPast { request } => request,
+        }
+    }
+
+    /// Recovers the rejected request for retry elsewhere.
+    pub fn into_request(self) -> Request {
+        match self {
+            SubmitRejection::WouldBlock { request, .. }
+            | SubmitRejection::QueueClosed { request }
+            | SubmitRejection::DeadlineAlreadyPast { request } => request,
+        }
+    }
+
+    /// The backoff hint, when the rejection is retryable
+    /// ([`SubmitRejection::WouldBlock`]).
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            SubmitRejection::WouldBlock { retry_after, .. } => Some(*retry_after),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SubmitRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitRejection::WouldBlock { retry_after, .. } => write!(
+                f,
+                "home-shard queue full; retry in ~{:?} (bounded admission)",
+                retry_after
+            ),
+            SubmitRejection::QueueClosed { .. } => write!(f, "submit on a shut-down dispatcher"),
+            SubmitRejection::DeadlineAlreadyPast { .. } => {
+                write!(f, "deadline already past at submit time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitRejection {}
+
+/// Error returned by [`Submitter::submit_all`] when a request mid-batch
+/// is rejected (backpressure, shutdown, or a stale deadline).
+///
+/// Loss-freedom requires more than a bare rejection carries: by the time
+/// a batch submission is rejected, *earlier* requests of the batch were
+/// already accepted and **will resolve** — dropping their tickets (as a
+/// plain `collect::<Result<Vec<_>, _>>()` would) makes those outcomes
 /// unreachable even though the work is done. This error hands everything
-/// back: the tickets of the accepted prefix, the first rejected request,
-/// and the never-submitted tail.
+/// back: the tickets of the accepted prefix, the first rejection (request
+/// inside), and the never-submitted tail.
 #[derive(Debug)]
 pub struct SubmitAllError {
     /// Completion tickets of the requests accepted before the rejection,
-    /// in submission order. Each will be fulfilled (shutdown is
-    /// loss-free); wait on them as usual.
+    /// in submission order. Each will resolve (shutdown is loss-free);
+    /// wait on them as usual.
     pub accepted: Vec<Ticket>,
-    /// The first rejected request, handed back for retry elsewhere.
-    pub rejected: Request,
+    /// The first rejection, with its request handed back for retry
+    /// elsewhere (or later, after
+    /// [`SubmitRejection::retry_after`]).
+    pub rejected: SubmitRejection,
     /// The remaining requests of the batch, never submitted.
     pub rest: Vec<Request>,
 }
@@ -64,9 +252,10 @@ impl std::fmt::Display for SubmitAllError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "submit_all on a shut-down dispatcher: {} accepted (tickets attached), \
-             1 rejected, {} never submitted",
+            "submit_all interrupted: {} accepted (tickets attached), \
+             1 rejected ({}), {} never submitted",
             self.accepted.len(),
+            self.rejected,
             self.rest.len()
         )
     }
@@ -74,15 +263,148 @@ impl std::fmt::Display for SubmitAllError {
 
 impl std::error::Error for SubmitAllError {}
 
-/// What a shard hands back through a ticket: the request's result plus
-/// the completed latency [`Timeline`].
+/// Why the dispatcher shed an accepted request instead of executing it.
+/// Both variants are deadline decisions; they are counted separately in
+/// [`DispatchReport`](crate::DispatchReport) because they indict
+/// different stages (admission projection vs queue residence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// At ingestion the live queueing + service estimate projected
+    /// completion past the deadline, so the request never entered a
+    /// round.
+    DeadlineUnmeetable {
+        /// Projected completion stamp (ns from the dispatcher epoch).
+        projected_ns: u64,
+        /// The request's deadline stamp.
+        deadline_ns: u64,
+    },
+    /// The deadline had passed (or service could no longer fit) by the
+    /// time a shard was about to execute the request.
+    DeadlineExpired {
+        /// The execute-start stamp at which the check failed.
+        now_ns: u64,
+        /// The request's deadline stamp.
+        deadline_ns: u64,
+    },
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::DeadlineUnmeetable {
+                projected_ns,
+                deadline_ns,
+            } => write!(
+                f,
+                "deadline unmeetable: projected completion {projected_ns}ns > deadline {deadline_ns}ns"
+            ),
+            ShedReason::DeadlineExpired {
+                now_ns,
+                deadline_ns,
+            } => write!(
+                f,
+                "deadline expired in queue: execute start {now_ns}ns vs deadline {deadline_ns}ns"
+            ),
+        }
+    }
+}
+
+/// How an accepted request resolved. Every ticket resolves to exactly one
+/// `Outcome`; shedding is a first-class serving decision here, not an
+/// error shoehorned into [`ServeError`].
+#[derive(Debug)]
+pub enum Outcome {
+    /// The request executed; its result.
+    Completed(RunResult),
+    /// The dispatcher dropped the request before execution to protect
+    /// its deadline (or the deadline of everyone behind it).
+    Shed {
+        /// The deadline decision that condemned it.
+        reason: ShedReason,
+    },
+    /// The request executed (or tried to) and failed.
+    Failed(ServeError),
+}
+
+impl Outcome {
+    /// The result, panicking on [`Outcome::Shed`] / [`Outcome::Failed`] —
+    /// the ergonomic unwrap for traffic submitted without deadlines,
+    /// which can never be shed.
+    ///
+    /// # Panics
+    ///
+    /// If the request was shed or failed.
+    #[track_caller]
+    pub fn unwrap(self) -> RunResult {
+        match self {
+            Outcome::Completed(run) => run,
+            other => panic!("called `Outcome::unwrap()` on {other:?}"),
+        }
+    }
+
+    /// Like [`Outcome::unwrap`] with a caller message.
+    ///
+    /// # Panics
+    ///
+    /// If the request was shed or failed.
+    #[track_caller]
+    pub fn expect(self, msg: &str) -> RunResult {
+        match self {
+            Outcome::Completed(run) => run,
+            other => panic!("{msg}: {other:?}"),
+        }
+    }
+
+    /// The result, if the request completed.
+    pub fn completed(self) -> Option<RunResult> {
+        match self {
+            Outcome::Completed(run) => Some(run),
+            _ => None,
+        }
+    }
+
+    /// The shed reason, if the request was shed.
+    pub fn shed_reason(&self) -> Option<ShedReason> {
+        match self {
+            Outcome::Shed { reason } => Some(*reason),
+            _ => None,
+        }
+    }
+
+    /// The error, if the request failed.
+    pub fn failure(&self) -> Option<&ServeError> {
+        match self {
+            Outcome::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Whether the request executed to completion.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Outcome::Completed(_))
+    }
+
+    /// Whether the request was shed before execution.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Outcome::Shed { .. })
+    }
+
+    /// Whether the request failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Outcome::Failed(_))
+    }
+}
+
+/// What a shard (or the shedding ingestion thread) hands back through a
+/// ticket: the request's [`Outcome`] plus the completed latency
+/// [`Timeline`].
 #[derive(Debug)]
 pub(crate) struct Completion {
-    pub(crate) result: Result<RunResult, ServeError>,
+    pub(crate) outcome: Outcome,
     pub(crate) timeline: Timeline,
 }
 
-/// Completion state shared between a [`Ticket`] and the shard thread that
+/// Completion state shared between a [`Ticket`] and the thread that
 /// fulfills it.
 #[derive(Debug)]
 pub(crate) struct TicketState {
@@ -98,23 +420,24 @@ impl TicketState {
         })
     }
 
-    /// Completes the ticket. Called exactly once per accepted request, by
-    /// whichever shard executed it.
-    pub(crate) fn fulfill(&self, result: Result<RunResult, ServeError>, timeline: Timeline) {
+    /// Resolves the ticket. Called exactly once per accepted request, by
+    /// whichever thread decided its outcome.
+    pub(crate) fn fulfill(&self, outcome: Outcome, timeline: Timeline) {
         let mut slot = self.slot.lock().expect("ticket poisoned");
         debug_assert!(slot.is_none(), "ticket fulfilled twice");
-        *slot = Some(Completion { result, timeline });
+        *slot = Some(Completion { outcome, timeline });
         drop(slot);
         self.done.notify_all();
     }
 }
 
 /// A per-request completion handle: the synchronous future returned by
-/// [`Submitter::submit`].
+/// [`Submitter::submit`] / [`Submitter::submit_with`].
 ///
-/// The ticket is fulfilled by whichever engine shard executes the request;
-/// [`Ticket::wait`] blocks until then. Dropping a ticket is fine — the
-/// request still executes, its result is simply discarded.
+/// The ticket is fulfilled by whichever thread decides the request's
+/// [`Outcome`] — the executing shard, or the ingestion thread when it
+/// sheds; [`Ticket::wait`] blocks until then. Dropping a ticket is fine —
+/// the request still resolves, its outcome is simply discarded.
 #[derive(Debug)]
 pub struct Ticket {
     state: Arc<TicketState>,
@@ -125,33 +448,30 @@ impl Ticket {
         Ticket { state }
     }
 
-    /// Blocks until the request completes and returns its result. Use
+    /// Blocks until the request resolves and returns its [`Outcome`]. Use
     /// [`Ticket::wait_detailed`] to also receive the per-request latency
     /// [`Timeline`].
-    ///
-    /// # Errors
-    ///
-    /// The request's [`ServeError`], if it failed.
-    pub fn wait(self) -> Result<RunResult, ServeError> {
+    pub fn wait(self) -> Outcome {
         self.wait_detailed().0
     }
 
-    /// Blocks until the request completes and returns its result together
-    /// with the completed latency [`Timeline`] (arrival → accepted →
-    /// round-closed → execute-start → completed stamps, plus the modelled
-    /// service cycles). The timeline is present whether the request
-    /// succeeded or failed.
-    pub fn wait_detailed(self) -> (Result<RunResult, ServeError>, Timeline) {
+    /// Blocks until the request resolves and returns its [`Outcome`]
+    /// together with the completed latency [`Timeline`] (arrival →
+    /// accepted → round-closed → execute-start → completed stamps, the
+    /// deadline, and the modelled service cycles). The timeline is
+    /// present whatever the outcome — shed requests stamp completion at
+    /// the moment they were shed.
+    pub fn wait_detailed(self) -> (Outcome, Timeline) {
         let mut slot = self.state.slot.lock().expect("ticket poisoned");
         loop {
             if let Some(completion) = slot.take() {
-                return (completion.result, completion.timeline);
+                return (completion.outcome, completion.timeline);
             }
             slot = self.state.done.wait(slot).expect("ticket poisoned");
         }
     }
 
-    /// The request's latency [`Timeline`], once it has completed (`None`
+    /// The request's latency [`Timeline`], once it has resolved (`None`
     /// while in flight). Non-consuming, so it can be polled alongside
     /// [`Ticket::is_done`].
     pub fn timeline(&self) -> Option<Timeline> {
@@ -169,28 +489,25 @@ impl Ticket {
     /// # Errors
     ///
     /// `Err(self)` on timeout — the ticket remains valid.
-    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<RunResult, ServeError>, Ticket> {
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Outcome, Ticket> {
         self.wait_timeout_detailed(timeout)
-            .map(|(result, _)| result)
+            .map(|(outcome, _)| outcome)
     }
 
-    /// Like [`Ticket::wait_detailed`] with a bound: result plus completed
-    /// [`Timeline`] on completion, or the ticket back as `Err` if
-    /// `timeout` elapses first — the bounded-wait + latency combination
-    /// SLO enforcement needs.
+    /// Like [`Ticket::wait_detailed`] with a bound: outcome plus
+    /// completed [`Timeline`] on resolution, or the ticket back as `Err`
+    /// if `timeout` elapses first — the bounded-wait + latency
+    /// combination SLO enforcement needs.
     ///
     /// # Errors
     ///
     /// `Err(self)` on timeout — the ticket remains valid.
-    pub fn wait_timeout_detailed(
-        self,
-        timeout: Duration,
-    ) -> Result<(Result<RunResult, ServeError>, Timeline), Ticket> {
+    pub fn wait_timeout_detailed(self, timeout: Duration) -> Result<(Outcome, Timeline), Ticket> {
         let deadline = std::time::Instant::now() + timeout;
         let mut slot = self.state.slot.lock().expect("ticket poisoned");
         loop {
             if let Some(completion) = slot.take() {
-                return Ok((completion.result, completion.timeline));
+                return Ok((completion.outcome, completion.timeline));
             }
             let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
                 drop(slot);
@@ -204,8 +521,8 @@ impl Ticket {
         }
     }
 
-    /// Whether the result is ready (a subsequent [`Ticket::wait`] will not
-    /// block).
+    /// Whether the outcome is ready (a subsequent [`Ticket::wait`] will
+    /// not block).
     pub fn is_done(&self) -> bool {
         self.state.slot.lock().expect("ticket poisoned").is_some()
     }
@@ -233,11 +550,21 @@ impl Gate {
     }
 }
 
+/// One accepted request in flight through the ingestion channel.
+pub(crate) struct Submission {
+    pub(crate) request: Request,
+    pub(crate) ticket: Arc<TicketState>,
+    /// Scheduled arrival stamp (ns from the dispatcher's clock epoch).
+    pub(crate) arrival_ns: u64,
+    /// Completion deadline stamp (0 = none).
+    pub(crate) deadline_ns: u64,
+    pub(crate) priority: Priority,
+}
+
 /// Messages flowing through the ingestion channel.
 pub(crate) enum Job {
-    /// An accepted request, its completion handle, and its scheduled
-    /// arrival stamp (nanoseconds from the dispatcher's clock epoch).
-    Request(Request, Arc<TicketState>, u64),
+    /// An accepted request envelope.
+    Request(Submission),
     /// Close every pending round now (latency escape hatch); open the
     /// gate once done.
     Flush(Arc<Gate>),
@@ -245,6 +572,141 @@ pub(crate) enum Job {
     /// Guaranteed (by the submit/shutdown lock handshake) to follow every
     /// accepted request in channel order.
     Shutdown,
+}
+
+/// Exponentially weighted moving average cell (α = 1/8), racy by design:
+/// readers want a cheap live estimate, not a ledger.
+fn ewma_update(cell: &AtomicU64, observed: u64) {
+    let old = cell.load(Ordering::Relaxed);
+    let new = if old == 0 {
+        observed
+    } else {
+        old - old / 8 + observed / 8
+    };
+    cell.store(new, Ordering::Relaxed);
+}
+
+/// Shared admission-control state: per-home-shard depth accounting (the
+/// bounded-queue half), live latency estimates (the shed-projection
+/// half), and the per-class accept/reject/shed/complete ledger the
+/// [`DispatchReport`](crate::DispatchReport) is assembled from.
+///
+/// Written from three sides — submitters (admission), the ingestion
+/// thread (unmeetable-deadline sheds), shard workers (completions and
+/// expired-deadline sheds) — all through relaxed atomics: the ledger is
+/// read coherently only at shutdown, after every thread has been joined.
+pub(crate) struct Admission {
+    /// Primary shard count, for home-shard routing at admission time.
+    pub(crate) primaries: usize,
+    /// Per-home-shard admission bound (`None` = unbounded, the default).
+    pub(crate) capacity: Option<u64>,
+    /// The dispatcher's `max_wait`, the retry-hint fallback before any
+    /// latency observations exist.
+    pub(crate) max_wait_ns: u64,
+    /// Accepted-but-unresolved requests per home shard.
+    pub(crate) depth: Vec<AtomicU64>,
+    /// Per-class accepted submissions.
+    pub(crate) accepted: [AtomicU64; 3],
+    /// Per-class executed-to-resolution requests (success or failure).
+    pub(crate) completed: [AtomicU64; 3],
+    /// Per-class shed requests.
+    pub(crate) shed: [AtomicU64; 3],
+    /// Per-class rejected submissions (never accepted).
+    pub(crate) rejected: [AtomicU64; 3],
+    /// Rejections by kind, summed over classes.
+    pub(crate) rejected_would_block: AtomicU64,
+    pub(crate) rejected_queue_closed: AtomicU64,
+    pub(crate) rejected_deadline_past: AtomicU64,
+    /// Sheds by stage: projected unmeetable at ingestion vs expired at
+    /// execute time.
+    pub(crate) shed_unmeetable: AtomicU64,
+    pub(crate) shed_expired: AtomicU64,
+    /// Live EWMA of observed queueing delay (accepted → execute start).
+    pub(crate) queueing_estimate_ns: AtomicU64,
+    /// Live EWMA of observed host-side service time.
+    pub(crate) service_estimate_ns: AtomicU64,
+}
+
+impl Admission {
+    pub(crate) fn new(primaries: usize, capacity: Option<usize>, max_wait: Duration) -> Self {
+        Admission {
+            primaries,
+            capacity: capacity.map(|c| c as u64),
+            max_wait_ns: u64::try_from(max_wait.as_nanos()).unwrap_or(u64::MAX),
+            depth: (0..primaries).map(|_| AtomicU64::new(0)).collect(),
+            accepted: Default::default(),
+            completed: Default::default(),
+            shed: Default::default(),
+            rejected: Default::default(),
+            rejected_would_block: AtomicU64::new(0),
+            rejected_queue_closed: AtomicU64::new(0),
+            rejected_deadline_past: AtomicU64::new(0),
+            shed_unmeetable: AtomicU64::new(0),
+            shed_expired: AtomicU64::new(0),
+            queueing_estimate_ns: AtomicU64::new(0),
+            service_estimate_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Feeds one completed primary request's observed delays into the
+    /// live estimates.
+    pub(crate) fn observe(&self, queueing_ns: u64, service_ns: u64) {
+        ewma_update(&self.queueing_estimate_ns, queueing_ns);
+        ewma_update(&self.service_estimate_ns, service_ns);
+    }
+
+    /// Projected stamp at which a request accepted at `accepted_ns` would
+    /// complete, per the live estimates (equal to `accepted_ns` before
+    /// any observation exists — the projection is conservative, never
+    /// inventing delay it has not measured).
+    pub(crate) fn projected_completion_ns(&self, accepted_ns: u64) -> u64 {
+        accepted_ns
+            .saturating_add(self.queueing_estimate_ns.load(Ordering::Relaxed))
+            .saturating_add(self.service_estimate_ns.load(Ordering::Relaxed))
+    }
+
+    /// Remaining host-side cost of a request already at execute-start.
+    pub(crate) fn service_estimate(&self) -> u64 {
+        self.service_estimate_ns.load(Ordering::Relaxed)
+    }
+
+    /// Backoff hint for a [`SubmitRejection::WouldBlock`]: about half the
+    /// live queueing estimate (one drain quantum), the latency budget
+    /// when nothing has been observed yet, clamped to a sane
+    /// [100 µs, 1 s] band so callers never spin or stall forever.
+    pub(crate) fn retry_after(&self) -> Duration {
+        let est = self.queueing_estimate_ns.load(Ordering::Relaxed);
+        let ns = if est == 0 { self.max_wait_ns } else { est / 2 };
+        Duration::from_nanos(ns.clamp(100_000, 1_000_000_000))
+    }
+
+    /// Records a rejection of `class` by `kind` counter.
+    fn note_rejected(&self, class: usize, kind: &AtomicU64) {
+        self.rejected[class].fetch_add(1, Ordering::Relaxed);
+        kind.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a shed of `class`; `home` releases its depth slot.
+    pub(crate) fn note_shed(&self, class: usize, home: usize, reason: ShedReason) {
+        self.shed[class].fetch_add(1, Ordering::Relaxed);
+        match reason {
+            ShedReason::DeadlineUnmeetable { .. } => &self.shed_unmeetable,
+            ShedReason::DeadlineExpired { .. } => &self.shed_expired,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.release(home);
+    }
+
+    /// Records a completion of `class`; `home` releases its depth slot.
+    pub(crate) fn note_completed(&self, class: usize, home: usize) {
+        self.completed[class].fetch_add(1, Ordering::Relaxed);
+        self.release(home);
+    }
+
+    fn release(&self, home: usize) {
+        let prev = self.depth[home].fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "depth underflow on shard {home}");
+    }
 }
 
 /// Handle for submitting requests to a running
@@ -255,6 +717,7 @@ pub struct Submitter {
     tx: crossbeam::channel::Sender<Job>,
     shut_down: Arc<RwLock<bool>>,
     clock: Arc<Clock>,
+    admission: Arc<Admission>,
 }
 
 impl std::fmt::Debug for Submitter {
@@ -270,84 +733,146 @@ impl Submitter {
         tx: crossbeam::channel::Sender<Job>,
         shut_down: Arc<RwLock<bool>>,
         clock: Arc<Clock>,
+        admission: Arc<Admission>,
     ) -> Self {
         Submitter {
             tx,
             shut_down,
             clock,
+            admission,
         }
     }
 
-    /// Submits one request for asynchronous execution, returning its
-    /// completion [`Ticket`]. The request's timeline records *now* as its
-    /// arrival; use [`Submitter::submit_at`] when replaying a schedule
-    /// whose intended arrival differs from the submit instant.
+    /// Submits one request with default [`SubmitOptions`] (no deadline,
+    /// [`Priority::Standard`], arrival = now) — the convenience wrapper
+    /// over [`Submitter::submit_with`].
     ///
     /// # Errors
     ///
-    /// [`SubmitError`] (with the request handed back) if the dispatcher
-    /// has shut down. An `Ok` return means the request **will** be served:
-    /// the ticket is always fulfilled.
-    pub fn submit(&self, request: Request) -> Result<Ticket, SubmitError> {
-        let arrival_ns = self.clock.now_ns();
-        self.submit_stamped(request, arrival_ns)
+    /// [`SubmitRejection`] (with the request handed back) — under default
+    /// options only [`SubmitRejection::QueueClosed`] after shutdown, plus
+    /// [`SubmitRejection::WouldBlock`] when the dispatcher bounds
+    /// admission. An `Ok` return means the ticket **will** resolve.
+    pub fn submit(&self, request: Request) -> Result<Ticket, SubmitRejection> {
+        self.submit_with(request, SubmitOptions::default())
     }
 
-    /// Submits one request whose *scheduled* arrival is `scheduled` — the
-    /// open-loop replay path. The timeline's arrival stamp is the
-    /// schedule's intended instant (clamped to the dispatcher's epoch),
-    /// so reported end-to-end latency charges the system for any lag
-    /// between the schedule and the actual submit, exactly as an
-    /// open-loop client would.
+    /// Submits one request under a typed [`SubmitOptions`] envelope,
+    /// returning its completion [`Ticket`].
+    ///
+    /// Admission is decided here, at the edge: a deadline already past
+    /// rejects immediately; a full home-shard queue (when
+    /// [`DispatchOptions::queue_capacity`](crate::DispatchOptions::queue_capacity)
+    /// bounds admission) rejects with a retry hint instead of blocking or
+    /// queueing without bound.
     ///
     /// # Errors
     ///
-    /// [`SubmitError`], as [`Submitter::submit`].
-    pub fn submit_at(&self, request: Request, scheduled: Instant) -> Result<Ticket, SubmitError> {
-        let arrival_ns = self.clock.ns_at(scheduled);
-        self.submit_stamped(request, arrival_ns)
-    }
+    /// [`SubmitRejection`], with the request handed back in every
+    /// variant. An `Ok` return means the request was **accepted**: its
+    /// ticket always resolves to an [`Outcome`] — completed, shed, or
+    /// failed — even across shutdown.
+    pub fn submit_with(
+        &self,
+        request: Request,
+        options: SubmitOptions,
+    ) -> Result<Ticket, SubmitRejection> {
+        let class = options.priority.index();
+        if let Some(deadline) = options.deadline {
+            if deadline <= Instant::now() {
+                self.admission
+                    .note_rejected(class, &self.admission.rejected_deadline_past);
+                return Err(SubmitRejection::DeadlineAlreadyPast { request });
+            }
+        }
+        let arrival_ns = match options.scheduled {
+            Some(t) => self.clock.ns_at(t),
+            None => self.clock.now_ns(),
+        };
+        // A deadline stamp of 0 means "none"; a real deadline at the
+        // epoch instant itself is clamped up to 1 ns.
+        let deadline_ns = options.deadline.map_or(0, |t| self.clock.ns_at(t).max(1));
 
-    fn submit_stamped(&self, request: Request, arrival_ns: u64) -> Result<Ticket, SubmitError> {
         // Hold the read lock across the send: shutdown takes the write
         // lock before enqueueing its marker, so an accepted request always
         // precedes the marker on the FIFO channel (loss-freedom).
         let guard = self.shut_down.read().expect("flag poisoned");
         if *guard {
-            return Err(SubmitError(request));
+            self.admission
+                .note_rejected(class, &self.admission.rejected_queue_closed);
+            return Err(SubmitRejection::QueueClosed { request });
         }
+
+        // Bounded admission: claim a depth slot on the home shard; give
+        // it back and reject if the queue is at capacity. (The claim-
+        // then-check order admits at most one transient overshoot per
+        // concurrent submitter — bounded, and free of a CAS loop.)
+        let home = home_shard(request.dag, self.admission.primaries);
+        let prev = self.admission.depth[home].fetch_add(1, Ordering::Relaxed);
+        if let Some(cap) = self.admission.capacity {
+            if prev >= cap {
+                self.admission.depth[home].fetch_sub(1, Ordering::Relaxed);
+                self.admission
+                    .note_rejected(class, &self.admission.rejected_would_block);
+                return Err(SubmitRejection::WouldBlock {
+                    retry_after: self.admission.retry_after(),
+                    request,
+                });
+            }
+        }
+
+        self.admission.accepted[class].fetch_add(1, Ordering::Relaxed);
         let state = TicketState::new();
-        match self
-            .tx
-            .send(Job::Request(request, Arc::clone(&state), arrival_ns))
-        {
+        let submission = Submission {
+            request,
+            ticket: Arc::clone(&state),
+            arrival_ns,
+            deadline_ns,
+            priority: options.priority,
+        };
+        match self.tx.send(Job::Request(submission)) {
             Ok(()) => Ok(Ticket::new(state)),
-            Err(crossbeam::channel::SendError(Job::Request(request, _, _))) => {
-                Err(SubmitError(request))
+            Err(crossbeam::channel::SendError(Job::Request(sub))) => {
+                // The channel is gone (dispatcher dropped without the
+                // handshake — cannot happen through the public API, but
+                // stay honest): undo the accept and reject as closed.
+                self.admission.accepted[class].fetch_sub(1, Ordering::Relaxed);
+                self.admission.depth[home].fetch_sub(1, Ordering::Relaxed);
+                self.admission
+                    .note_rejected(class, &self.admission.rejected_queue_closed);
+                Err(SubmitRejection::QueueClosed {
+                    request: sub.request,
+                })
             }
             Err(_) => unreachable!("send returns the job it was given"),
         }
     }
 
-    /// Submits a batch, returning one ticket per request (in order).
+    /// Submits a batch under shared `options`, returning one ticket per
+    /// request (in order).
     ///
     /// # Errors
     ///
-    /// [`SubmitAllError`] on the first rejected request. The error keeps
-    /// the loss-freedom contract intact across partial batches: it
-    /// carries the tickets of the already-accepted prefix (those requests
-    /// execute and their results stay reachable), the rejected request,
-    /// and the unsubmitted tail.
-    pub fn submit_all<I>(&self, requests: I) -> Result<Vec<Ticket>, SubmitAllError>
+    /// [`SubmitAllError`] on the first rejected request — shutdown *or*
+    /// mid-batch backpressure. The error keeps the loss-freedom contract
+    /// intact across partial batches: it carries the tickets of the
+    /// already-accepted prefix (those requests resolve and their outcomes
+    /// stay reachable), the rejection with its request, and the
+    /// unsubmitted tail.
+    pub fn submit_all<I>(
+        &self,
+        requests: I,
+        options: SubmitOptions,
+    ) -> Result<Vec<Ticket>, SubmitAllError>
     where
         I: IntoIterator<Item = Request>,
     {
         let mut it = requests.into_iter();
         let mut accepted = Vec::new();
         for request in it.by_ref() {
-            match self.submit(request) {
+            match self.submit_with(request, options) {
                 Ok(ticket) => accepted.push(ticket),
-                Err(SubmitError(rejected)) => {
+                Err(rejected) => {
                     return Err(SubmitAllError {
                         accepted,
                         rejected,

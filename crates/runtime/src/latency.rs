@@ -313,10 +313,9 @@ impl Default for Clock {
 /// result was ready.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Timeline {
-    /// Scheduled submission time ([`Submitter::submit_at`]'s instant, or
+    /// Scheduled submission time
+    /// ([`SubmitOptions::scheduled`](crate::SubmitOptions)'s instant, or
     /// the actual submit instant for plain submits).
-    ///
-    /// [`Submitter::submit_at`]: crate::Submitter::submit_at
     pub arrival_ns: u64,
     /// Picked up by the ingestion thread.
     pub accepted_ns: u64,
@@ -326,6 +325,13 @@ pub struct Timeline {
     pub execute_start_ns: u64,
     /// Execution finished; the ticket is fulfilled with this timeline.
     pub completed_ns: u64,
+    /// Completion deadline from
+    /// [`SubmitOptions::deadline`](crate::SubmitOptions), in nanoseconds
+    /// from the same epoch (`0` = no deadline). Propagated through the
+    /// whole path so the dispatcher can shed a provably late request
+    /// *before* execution and so a fulfilled ticket's timeline still
+    /// shows the budget the request ran against.
+    pub deadline_ns: u64,
     /// Modelled service time in simulated cycles on the executing
     /// backend — the deterministic half of the accounting (a pure
     /// function of program and inputs, unlike the host-side stamps).
@@ -365,6 +371,21 @@ impl Timeline {
     /// End-to-end response time: scheduled arrival until completion.
     pub fn total_ns(&self) -> u64 {
         self.completed_ns.saturating_sub(self.arrival_ns)
+    }
+
+    /// Nanoseconds of deadline budget left at completion (`None` when the
+    /// request carried no deadline, `Some(0)` when it completed exactly
+    /// at — or past — its deadline; see [`Timeline::missed_deadline`]).
+    pub fn deadline_slack_ns(&self) -> Option<u64> {
+        (self.deadline_ns != 0).then(|| self.deadline_ns.saturating_sub(self.completed_ns))
+    }
+
+    /// Whether the request completed after its deadline (always `false`
+    /// without one). Shed requests complete the moment they are shed, so
+    /// an accepted-then-shed request normally reads `false` here — the
+    /// shed *reason* carries the projection that condemned it.
+    pub fn missed_deadline(&self) -> bool {
+        self.deadline_ns != 0 && self.completed_ns > self.deadline_ns
     }
 }
 
@@ -516,6 +537,7 @@ mod tests {
             round_closed_ns: 400,
             execute_start_ns: 600,
             completed_ns: 1000,
+            deadline_ns: 1200,
             service_cycles: 42,
         };
         assert_eq!(t.submit_lag_ns(), 50);
@@ -524,10 +546,21 @@ mod tests {
         assert_eq!(t.queueing_delay_ns(), 450);
         assert_eq!(t.service_ns(), 400);
         assert_eq!(t.total_ns(), 900);
+        assert_eq!(t.deadline_slack_ns(), Some(200));
+        assert!(!t.missed_deadline());
+        let late = Timeline {
+            deadline_ns: 900,
+            ..t
+        };
+        assert_eq!(late.deadline_slack_ns(), Some(0));
+        assert!(late.missed_deadline());
         // Out-of-order stamps saturate instead of wrapping.
         let zero = Timeline::default();
         assert_eq!(zero.total_ns(), 0);
         assert_eq!(zero.queueing_delay_ns(), 0);
+        // No deadline: no slack, never "missed".
+        assert_eq!(zero.deadline_slack_ns(), None);
+        assert!(!zero.missed_deadline());
     }
 
     #[test]
@@ -538,6 +571,7 @@ mod tests {
             round_closed_ns: i * 10 + 7,
             execute_start_ns: i * 12 + 9,
             completed_ns: i * 15 + 20,
+            deadline_ns: 0,
             service_cycles: 100 + i % 7,
         };
         let mut whole = LatencyReport::default();

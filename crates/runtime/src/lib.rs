@@ -101,9 +101,13 @@ pub mod pool;
 pub use backend::{Backend, BaselineBackend, Scratch, StealClass};
 pub use cache::{CacheKey, CacheStats, ProgramCache, SpillLookup, SpillStore};
 pub use dispatch::{
-    home_shard, DispatchOptions, DispatchReport, Dispatcher, PlatformSummary, ShardReport,
+    home_shard, ClassReport, DispatchOptions, DispatchReport, Dispatcher, PlatformSummary,
+    ShardReport,
 };
-pub use ingest::{SubmitAllError, SubmitError, Submitter, Ticket};
+pub use ingest::{
+    Outcome, Priority, ShedReason, SubmitAllError, SubmitOptions, SubmitRejection, Submitter,
+    Ticket,
+};
 pub use latency::{Clock, LatencyHistogram, LatencyReport, Timeline};
 pub use planner::{plan_rounds, BatchPlan, RoundPlan};
 pub use pool::{Engine, EngineOptions, Request, ServeError, ServingReport};

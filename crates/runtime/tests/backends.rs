@@ -12,7 +12,7 @@ use dpu_dag::{eval, Dag, DagBuilder, Op};
 use dpu_isa::ArchConfig;
 use dpu_runtime::{
     home_shard, Backend, BaselineBackend, DispatchOptions, Dispatcher, Engine, EngineOptions,
-    Request, Ticket,
+    Request, SubmitOptions, SubmitRejection, Ticket,
 };
 use dpu_workloads::pc::{generate_pc, pc_inputs, PcParams};
 use dpu_workloads::sparse::{generate_lower_triangular, LowerTriangularParams, SpmvDag};
@@ -272,41 +272,55 @@ fn heterogeneous_primaries_route_and_never_cross_steal() {
 
 /// Identical baseline shards *do* steal from each other — the steal class
 /// is the model, not the platform kind.
+///
+/// Whether the idle twin actually wins a steal race in any one run
+/// depends on OS scheduling (on a loaded machine its worker thread may
+/// simply never get a slice during the ~1 ms serving window), so the
+/// scenario retries a few times: one successful steal proves the steal
+/// class is shared. Correctness of every served result is asserted on
+/// every attempt regardless.
 #[test]
 fn identical_baseline_shards_share_a_steal_class() {
     let dags = workload_dags();
-    let d = Dispatcher::with_backends(
-        vec![
-            Arc::new(BaselineBackend::new(BaselineModel::cpu(), FREQ)) as Arc<dyn Backend>,
-            Arc::new(BaselineBackend::new(BaselineModel::cpu(), FREQ)) as Arc<dyn Backend>,
-        ],
-        Vec::new(),
-        DispatchOptions {
-            max_batch: 2,
-            max_wait: Duration::from_micros(50),
-            work_stealing: true,
-            ..Default::default()
-        },
-    );
-    // One key -> one home shard; the expensive PC model queues rounds the
-    // idle twin steals.
-    let key = d.register(dags[0].clone());
-    let sub = d.submitter();
-    let tickets: Vec<Ticket> = (0..80)
-        .map(|i| {
-            sub.submit(Request::new(key, inputs_for(&dags[0], i)))
-                .unwrap()
-        })
-        .collect();
-    for t in tickets {
-        t.wait().unwrap();
+    let mut stole = false;
+    for _attempt in 0..10 {
+        let d = Dispatcher::with_backends(
+            vec![
+                Arc::new(BaselineBackend::new(BaselineModel::cpu(), FREQ)) as Arc<dyn Backend>,
+                Arc::new(BaselineBackend::new(BaselineModel::cpu(), FREQ)) as Arc<dyn Backend>,
+            ],
+            Vec::new(),
+            DispatchOptions {
+                max_batch: 2,
+                max_wait: Duration::from_micros(50),
+                work_stealing: true,
+                ..Default::default()
+            },
+        );
+        // One key -> one home shard; the expensive PC model queues rounds
+        // the idle twin steals.
+        let key = d.register(dags[0].clone());
+        let sub = d.submitter();
+        let tickets: Vec<Ticket> = (0..80)
+            .map(|i| {
+                sub.submit(Request::new(key, inputs_for(&dags[0], i)))
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let report = d.shutdown();
+        assert_eq!(report.served, 80);
+        let other = 1 - home_shard(key, 2);
+        if report.shards[other].stolen_rounds > 0 {
+            stole = true;
+            break;
+        }
     }
-    let report = d.shutdown();
-    assert_eq!(report.served, 80);
-    let other = 1 - home_shard(key, 2);
     assert!(
-        report.shards[other].stolen_rounds > 0,
-        "idle identical-model shard never stole: {report:?}"
+        stole,
+        "idle identical-model shard never stole in any of 10 attempts"
     );
 }
 
@@ -347,10 +361,13 @@ fn submit_all_mid_shutdown_keeps_accepted_tickets() {
         }
     });
 
-    let err = sub.submit_all(batch).expect_err("shutdown mid-batch");
+    let err = sub
+        .submit_all(batch, SubmitOptions::default())
+        .expect_err("shutdown mid-batch");
     // The accepted prefix keeps its tickets — and they are fulfilled.
     assert_eq!(err.accepted.len(), 1);
-    assert_eq!(err.rejected.inputs, vec![1.0, 1.0]);
+    assert!(matches!(err.rejected, SubmitRejection::QueueClosed { .. }));
+    assert_eq!(err.rejected.request().inputs, vec![1.0, 1.0]);
     assert_eq!(err.rest.len(), 1);
     assert_eq!(err.rest[0].inputs, vec![2.0, 1.0]);
     assert!(err.to_string().contains("1 accepted"));
@@ -372,10 +389,13 @@ fn submit_all_after_shutdown_rejects_everything() {
     let sub = d.submitter();
     d.shutdown();
     let err = sub
-        .submit_all((0..3).map(|i| Request::new(key, vec![i as f32, 0.0])))
+        .submit_all(
+            (0..3).map(|i| Request::new(key, vec![i as f32, 0.0])),
+            SubmitOptions::default(),
+        )
         .expect_err("dispatcher is down");
     assert!(err.accepted.is_empty());
-    assert_eq!(err.rejected.inputs, vec![0.0, 0.0]);
+    assert_eq!(err.rejected.request().inputs, vec![0.0, 0.0]);
     assert_eq!(err.rest.len(), 2);
 }
 

@@ -258,7 +258,11 @@ fn shutdown_with_requests_in_flight_is_loss_free() {
     let err = sub
         .submit(Request::new(keys[0], inputs_for(&dags[0], 0)))
         .unwrap_err();
-    assert_eq!(err.0.dag, keys[0]);
+    assert!(
+        matches!(err, dpu_runtime::SubmitRejection::QueueClosed { .. }),
+        "post-shutdown submit must be QueueClosed: {err:?}"
+    );
+    assert_eq!(err.into_request().dag, keys[0]);
 }
 
 #[test]
@@ -376,7 +380,7 @@ fn unknown_dag_fails_the_ticket_not_the_dispatcher() {
     let good = sub.submit(Request::new(key, vec![1.0, 2.0])).unwrap();
     assert!(matches!(
         bad.wait(),
-        Err(dpu_runtime::ServeError::UnknownDag(_))
+        dpu_runtime::Outcome::Failed(dpu_runtime::ServeError::UnknownDag(_))
     ));
     assert_eq!(good.wait().unwrap().outputs, vec![9.0]);
     let report = d.shutdown();

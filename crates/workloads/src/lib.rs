@@ -35,4 +35,6 @@ pub mod suite;
 pub mod traffic;
 
 pub use suite::{BenchmarkSpec, WorkloadClass};
-pub use traffic::{open_loop_schedule, Arrival, ArrivalPattern, TrafficParams};
+pub use traffic::{
+    open_loop_schedule, Arrival, ArrivalPattern, PriorityClass, PriorityMix, TrafficParams,
+};

@@ -51,6 +51,81 @@ impl ArrivalPattern {
     }
 }
 
+/// Priority class annotation on a scheduled arrival.
+///
+/// Mirrors the runtime's `Priority { Interactive, Standard, Batch }`
+/// without depending on it — schedules stay workload-agnostic and the
+/// benchmark maps classes onto runtime `SubmitOptions` (and attaches
+/// deadlines to `Interactive` traffic) at replay time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PriorityClass {
+    /// Latency-sensitive foreground traffic.
+    Interactive,
+    /// Ordinary traffic — the default, and the only class emitted by
+    /// [`PriorityMix::default`].
+    #[default]
+    Standard,
+    /// Throughput-oriented background traffic.
+    Batch,
+}
+
+impl PriorityClass {
+    /// All classes, in urgency order.
+    pub const ALL: [PriorityClass; 3] = [
+        PriorityClass::Interactive,
+        PriorityClass::Standard,
+        PriorityClass::Batch,
+    ];
+
+    /// Stable machine-friendly name, for report sections.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PriorityClass::Interactive => "interactive",
+            PriorityClass::Standard => "standard",
+            PriorityClass::Batch => "batch",
+        }
+    }
+}
+
+/// Fractions of the stream assigned to each priority class.
+///
+/// `interactive + batch` must not exceed 1.0; the remainder is
+/// `Standard`. The default mix is all-`Standard`, which reproduces the
+/// schedules this module emitted before priority annotation existed —
+/// class sampling draws from a *separate* RNG stream, so enabling a mix
+/// never perturbs arrival times or family choices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorityMix {
+    /// Fraction of arrivals tagged [`PriorityClass::Interactive`].
+    pub interactive: f64,
+    /// Fraction of arrivals tagged [`PriorityClass::Batch`].
+    pub batch: f64,
+}
+
+impl Default for PriorityMix {
+    fn default() -> Self {
+        PriorityMix {
+            interactive: 0.0,
+            batch: 0.0,
+        }
+    }
+}
+
+impl PriorityMix {
+    /// A mix with explicit interactive/batch fractions (rest `Standard`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either fraction is negative or their sum exceeds 1.0.
+    pub fn new(interactive: f64, batch: f64) -> Self {
+        assert!(
+            interactive >= 0.0 && batch >= 0.0 && interactive + batch <= 1.0,
+            "priority fractions must be non-negative and sum to <= 1.0"
+        );
+        PriorityMix { interactive, batch }
+    }
+}
+
 /// Parameters of an open-loop traffic stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrafficParams {
@@ -69,6 +144,9 @@ pub struct TrafficParams {
     pub skew: f64,
     /// RNG seed; the schedule is a pure function of the params.
     pub seed: u64,
+    /// Priority-class mix over the stream. The default (all
+    /// `Standard`) makes priority annotation a no-op.
+    pub priorities: PriorityMix,
 }
 
 impl Default for TrafficParams {
@@ -80,6 +158,7 @@ impl Default for TrafficParams {
             families: 3,
             skew: 0.0,
             seed: 42,
+            priorities: PriorityMix::default(),
         }
     }
 }
@@ -94,14 +173,17 @@ pub struct Arrival {
     pub family: usize,
     /// Stream-wide sequence number, for per-request input variation.
     pub seq: usize,
+    /// Priority class of this arrival, sampled from
+    /// [`TrafficParams::priorities`]. `Standard` unless a mix is set.
+    pub class: PriorityClass,
 }
 
 impl Arrival {
     /// The absolute instant of this arrival for a replay that started at
     /// `start` — the scheduled submission time latency accounting charges
-    /// the serving system from (see the runtime's `Submitter::submit_at`),
-    /// so reported response times include any lag between the schedule
-    /// and the actual submit.
+    /// the serving system from (see the runtime's
+    /// `SubmitOptions::scheduled`), so reported response times include
+    /// any lag between the schedule and the actual submit.
     pub fn instant(&self, start: Instant) -> Instant {
         start + self.at
     }
@@ -117,6 +199,10 @@ pub fn open_loop_schedule(params: &TrafficParams) -> Vec<Arrival> {
     assert!(params.families > 0, "need at least one family");
     assert!(params.rate_per_sec > 0.0, "rate must be strictly positive");
     let mut rng = SmallRng::seed_from_u64(params.seed);
+    // Class sampling draws from its own stream so annotating priorities
+    // never perturbs the arrival-time / family draws: the same seed keeps
+    // producing byte-identical schedules modulo the `class` field.
+    let mut class_rng = SmallRng::seed_from_u64(params.seed ^ 0x9e37_79b9_7f4a_7c15);
     let weights = family_weights(params.families, params.skew);
     let mean_gap = 1.0 / params.rate_per_sec;
 
@@ -127,6 +213,7 @@ pub fn open_loop_schedule(params: &TrafficParams) -> Vec<Arrival> {
                 at: Duration::from_secs_f64(at),
                 family: pick_family(&weights, &mut rng),
                 seq,
+                class: pick_class(&params.priorities, &mut class_rng),
             };
             at += match params.pattern {
                 ArrivalPattern::Uniform => mean_gap,
@@ -158,6 +245,22 @@ fn family_weights(families: usize, skew: f64) -> Vec<f64> {
         .collect();
     let total: f64 = raw.iter().sum();
     raw.into_iter().map(|w| w / total).collect()
+}
+
+fn pick_class(mix: &PriorityMix, rng: &mut SmallRng) -> PriorityClass {
+    if mix.interactive == 0.0 && mix.batch == 0.0 {
+        // Don't burn a draw on the degenerate mix: all-Standard schedules
+        // stay identical whether or not callers ever touch `priorities`.
+        return PriorityClass::Standard;
+    }
+    let u: f64 = rng.gen_range(0.0..1.0);
+    if u < mix.interactive {
+        PriorityClass::Interactive
+    } else if u < mix.interactive + mix.batch {
+        PriorityClass::Batch
+    } else {
+        PriorityClass::Standard
+    }
 }
 
 fn pick_family(weights: &[f64], rng: &mut SmallRng) -> usize {
@@ -265,8 +368,70 @@ mod tests {
             at: Duration::from_millis(5),
             family: 0,
             seq: 0,
+            class: PriorityClass::Standard,
         };
         assert_eq!(a.instant(start) - start, Duration::from_millis(5));
+        assert_eq!(PriorityClass::Interactive.name(), "interactive");
+        assert_eq!(PriorityClass::Standard.name(), "standard");
+        assert_eq!(PriorityClass::Batch.name(), "batch");
+    }
+
+    #[test]
+    fn default_mix_is_all_standard() {
+        let s = open_loop_schedule(&TrafficParams::default());
+        assert!(s.iter().all(|a| a.class == PriorityClass::Standard));
+    }
+
+    #[test]
+    fn priority_mix_never_perturbs_times_or_families() {
+        // Annotating priorities must not disturb the arrival-time or
+        // family draws: mixed and unmixed schedules from the same seed
+        // agree on everything but `class`.
+        let base = TrafficParams {
+            requests: 2_000,
+            skew: 1.0,
+            ..TrafficParams::default()
+        };
+        let plain = open_loop_schedule(&base);
+        let mixed = open_loop_schedule(&TrafficParams {
+            priorities: PriorityMix::new(0.3, 0.3),
+            ..base
+        });
+        assert_eq!(plain.len(), mixed.len());
+        for (p, m) in plain.iter().zip(&mixed) {
+            assert_eq!(p.at, m.at);
+            assert_eq!(p.family, m.family);
+            assert_eq!(p.seq, m.seq);
+        }
+    }
+
+    #[test]
+    fn priority_mix_fractions_are_roughly_honored() {
+        let s = open_loop_schedule(&TrafficParams {
+            requests: 4_000,
+            priorities: PriorityMix::new(0.25, 0.5),
+            ..TrafficParams::default()
+        });
+        let count = |c: PriorityClass| s.iter().filter(|a| a.class == c).count();
+        let interactive = count(PriorityClass::Interactive) as f64 / 4_000.0;
+        let batch = count(PriorityClass::Batch) as f64 / 4_000.0;
+        assert!(
+            (interactive - 0.25).abs() < 0.05,
+            "interactive fraction {interactive}"
+        );
+        assert!((batch - 0.5).abs() < 0.05, "batch fraction {batch}");
+        assert_eq!(
+            count(PriorityClass::Interactive)
+                + count(PriorityClass::Standard)
+                + count(PriorityClass::Batch),
+            4_000
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "priority fractions")]
+    fn overfull_priority_mix_panics() {
+        PriorityMix::new(0.7, 0.5);
     }
 
     #[test]

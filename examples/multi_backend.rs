@@ -54,6 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         families: 2,
         skew: 0.3,
         seed: 93,
+        ..Default::default()
     });
     let inputs_for = |family: usize, seq: usize| -> Vec<f32> {
         if family == 0 {
@@ -99,7 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut total_cycles = 0u64;
     let mut total_pj = 0.0f64;
     for t in tickets {
-        let r = t.wait()?;
+        let r = t.wait().expect("no deadlines set, nothing can be shed");
         total_pj += energy::energy_pj(&dpu.config, &r.activity, r.cycles);
         total_cycles += r.cycles;
     }
@@ -166,10 +167,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .take(100)
         .map(|arr| Request::new(keys[arr.family], inputs_for(arr.family, arr.seq)))
         .collect();
-    let tickets = submitter.submit_all(requests).map_err(|e| e.to_string())?;
+    let tickets = submitter
+        .submit_all(requests, SubmitOptions::default())
+        .map_err(|e| e.to_string())?;
     for t in tickets {
         // Whichever platform owns this request's key produced the result.
-        assert!(!t.wait()?.outputs.is_empty());
+        assert!(!t.wait().unwrap().outputs.is_empty());
     }
     let het_report = het.shutdown();
     println!("\n== heterogeneous primaries (routing by DAG key) ==");
