@@ -35,6 +35,11 @@ pub struct CompileOptions {
     pub bank_policy: BankPolicy,
     /// Seed for the allocator's randomized tie-breaking.
     pub seed: u64,
+    /// Run the static verifier (`dpu-verify`) on the emitted program in
+    /// release builds too. Debug builds always verify; the check is one
+    /// linear pass over the instruction stream, paid once per compile and
+    /// never per request.
+    pub verify: bool,
 }
 
 impl Default for CompileOptions {
@@ -45,6 +50,7 @@ impl Default for CompileOptions {
             partition_threshold: 20_000,
             bank_policy: BankPolicy::ConflictAware,
             seed: 0xD9A6,
+            verify: false,
         }
     }
 }
@@ -58,6 +64,10 @@ pub enum CompileError {
     Spill(SpillError),
     /// Finalization failed (internal scheduling invariant violated).
     Finalize(FinalizeError),
+    /// The static verifier rejected the emitted program (a compiler bug:
+    /// the pipeline produced an instruction stream that violates an ISA or
+    /// layout invariant).
+    Verify(dpu_verify::VerifyError),
 }
 
 impl fmt::Display for CompileError {
@@ -66,6 +76,7 @@ impl fmt::Display for CompileError {
             CompileError::Emit(e) => write!(f, "emission: {e}"),
             CompileError::Spill(e) => write!(f, "spilling: {e}"),
             CompileError::Finalize(e) => write!(f, "finalization: {e}"),
+            CompileError::Verify(e) => write!(f, "verification: {e}"),
         }
     }
 }
@@ -85,6 +96,11 @@ impl From<SpillError> for CompileError {
 impl From<FinalizeError> for CompileError {
     fn from(e: FinalizeError) -> Self {
         CompileError::Finalize(e)
+    }
+}
+impl From<dpu_verify::VerifyError> for CompileError {
+    fn from(e: dpu_verify::VerifyError) -> Self {
+        CompileError::Verify(e)
     }
 }
 
@@ -138,6 +154,28 @@ pub struct Compiled {
     pub outputs: Vec<NodeId>,
     /// Statistics.
     pub stats: CompileStats,
+}
+
+impl Compiled {
+    /// Runs the static verifier (`dpu-verify`) over the program against
+    /// its own data layout. Freshly compiled programs always pass (the
+    /// compiler verifies in debug builds and under
+    /// [`CompileOptions::verify`]); the runtime calls this on programs
+    /// deserialized from a spill store, where a checksum match alone does
+    /// not prove well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// The first invariant violation found; see [`dpu_verify::VerifyError`].
+    pub fn verify(&self) -> Result<dpu_verify::VerifyReport, dpu_verify::VerifyError> {
+        let facts = dpu_verify::LayoutFacts {
+            input_slots: &self.layout.input_slots,
+            output_slots: &self.layout.output_slots,
+            spill_base: self.layout.spill_base,
+            rows_used: self.layout.rows_used,
+        };
+        dpu_verify::verify_program(&self.program, &facts)
+    }
 }
 
 /// Compiles `dag` for `cfg`: binarize → blocks → mapping → emission →
@@ -250,14 +288,31 @@ pub fn compile_binary(
         compile_ms: t0.elapsed().as_secs_f64() * 1e3,
     };
 
-    Ok(Compiled {
+    let compiled = Compiled {
         program: fin.program,
         layout,
         bin_dag: bin.clone(),
         orig_to_bin: (0..bin.len() as u32).map(NodeId).collect(),
         outputs: outputs.to_vec(),
         stats,
-    })
+    };
+
+    // Static verification: always in debug builds, opt-in in release. The
+    // replayed cycle count doubles as a cross-check of the finalizer's
+    // declared schedule length.
+    if cfg!(debug_assertions) || opts.verify {
+        let report = compiled.verify()?;
+        if report.cycles != compiled.stats.total_cycles {
+            return Err(CompileError::Verify(
+                dpu_verify::VerifyError::CycleMismatch {
+                    replayed: report.cycles,
+                    declared: compiled.stats.total_cycles,
+                },
+            ));
+        }
+    }
+
+    Ok(compiled)
 }
 
 #[cfg(test)]

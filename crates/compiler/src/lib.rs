@@ -60,6 +60,7 @@ pub mod step2;
 mod driver;
 mod ir;
 
+pub use dpu_verify::{ConfigFacts, LayoutFacts, VerifyError, VerifyReport};
 pub use driver::{compile, compile_binary, CompileError, CompileOptions, CompileStats, Compiled};
 pub use ir::{AInstr, BankAssignment, Block, ConflictStats, DataLayout, PlacedNode, Subgraph};
 pub use persist::PersistError;

@@ -38,6 +38,7 @@ pub use dpu_energy as energy;
 pub use dpu_isa as isa;
 pub use dpu_runtime as runtime;
 pub use dpu_sim as sim;
+pub use dpu_verify as verify;
 pub use dpu_workloads as workloads;
 
 use std::sync::Arc;
@@ -68,6 +69,10 @@ pub mod prelude {
         StealClass, SubmitAllError, SubmitOptions, SubmitRejection, Submitter, Ticket, Timeline,
     };
     pub use dpu_sim::{RunResult, VerifyReport};
+    // The static analyzer's report type stays behind its crate path
+    // (`dpu_core::verify::VerifyReport`) to avoid clashing with the
+    // simulator's dynamic `VerifyReport` above.
+    pub use dpu_verify::{steal_compatible, ConfigFacts, VerifyError};
 }
 
 /// A configured DPU-v2 instance: an architecture point plus compiler

@@ -74,6 +74,26 @@ pub enum StealClass {
     Analytic(BaselineModel, f64),
 }
 
+impl StealClass {
+    /// Whether two classes produce byte-identical results for every
+    /// request — the relation the dispatcher builds its stealing graph
+    /// on.
+    ///
+    /// For two simulated DPU shards this is the statically proven
+    /// relation [`dpu_verify::steal_compatible`]: equality on every
+    /// code-generation-relevant config field (`depth`, `banks`,
+    /// `regs_per_bank`, `topology`), with `data_mem_rows` exempt because
+    /// the compiler never reads the capacity — only the footprint, which
+    /// the verifier bounds-checks per program at compile and spill-load
+    /// time. Analytic classes still require exact parameter equality.
+    pub fn compatible(&self, other: &StealClass) -> bool {
+        match (self, other) {
+            (StealClass::Sim(a), StealClass::Sim(b)) => dpu_verify::steal_compatible(a, b),
+            _ => self == other,
+        }
+    }
+}
+
 /// An execution backend a [`Dispatcher`](crate::Dispatcher) shard can
 /// serve requests on. See the module docs for the contract.
 pub trait Backend: Send + Sync {
@@ -393,5 +413,26 @@ mod tests {
             300e6,
         );
         assert_ne!(cpu_a.steal_class(), tweaked.steal_class());
+    }
+
+    #[test]
+    fn sim_compatibility_is_proven_not_exact_equality() {
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let mut more_rows = cfg;
+        more_rows.data_mem_rows *= 2;
+        // Unequal classes (data_mem_rows differs) that are nonetheless
+        // proven result-compatible: codegen never reads the capacity.
+        assert_ne!(StealClass::Sim(cfg), StealClass::Sim(more_rows));
+        assert!(StealClass::Sim(cfg).compatible(&StealClass::Sim(more_rows)));
+        // Any codegen-relevant difference stays incompatible.
+        let mut more_regs = cfg;
+        more_regs.regs_per_bank = 32;
+        assert!(!StealClass::Sim(cfg).compatible(&StealClass::Sim(more_regs)));
+        // Analytic classes keep exact equality.
+        let cpu = BaselineBackend::new(BaselineModel::cpu(), 300e6);
+        let cpu_fast = BaselineBackend::new(BaselineModel::cpu(), 1e9);
+        assert!(cpu.steal_class().compatible(&cpu.steal_class()));
+        assert!(!cpu.steal_class().compatible(&cpu_fast.steal_class()));
+        assert!(!cpu.steal_class().compatible(&StealClass::Sim(cfg)));
     }
 }

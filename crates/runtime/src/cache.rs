@@ -81,8 +81,17 @@ pub struct CacheStats {
     /// Freshly compiled programs written to the spill store.
     pub spill_writes: u64,
     /// Spill files rejected as stale, truncated, corrupt, or compiled
-    /// with different options (the cache compiled instead).
+    /// with different options (the cache compiled instead). Includes
+    /// [`CacheStats::spill_unverifiable`].
     pub spill_rejects: u64,
+    /// Spill-loaded programs that passed static verification
+    /// (`dpu-verify`) before being admitted.
+    pub spill_verified: u64,
+    /// Spill files that decoded cleanly (magic, version, checksum and key
+    /// all valid) but whose program failed static verification — the
+    /// checksum-alone trust gap. Also counted in
+    /// [`CacheStats::spill_rejects`].
+    pub spill_unverifiable: u64,
 }
 
 impl CacheStats {
@@ -119,6 +128,14 @@ pub enum SpillLookup {
     /// options, truncation, corruption) — the caller must compile. The
     /// reason is carried for diagnostics.
     Rejected(String),
+    /// The file decoded cleanly — magic, version, key, options and
+    /// checksum all valid — but the program inside failed static
+    /// verification ([`dpu_verify::verify_program`]) or its derived
+    /// config facts do not admit the requested configuration. A checksum
+    /// proves the bytes are the bytes that were written, not that the
+    /// program is well-formed; this variant closes that gap with the
+    /// exact invariant violated.
+    Unverifiable(dpu_verify::VerifyError),
 }
 
 /// A content-addressed on-disk store of compiled programs — the
@@ -164,6 +181,11 @@ fn options_fingerprint(options: &CompileOptions) -> u64 {
         partition_threshold,
         bank_policy,
         seed,
+        // Deliberately excluded from the hash: verification does not
+        // affect codegen, so fleets differing only in `verify` still
+        // share each other's spills (and every spill load is verified
+        // regardless of the flag).
+        verify: _,
     } = options;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -276,6 +298,11 @@ impl SpillStore {
     /// Loads and validates the spilled program for `key`, if any. Every
     /// failure mode short of "file does not exist" is a *rejection*: the
     /// caller compiles instead and the file is left for diagnostics.
+    ///
+    /// A checksum match alone does not admit a program: the decoded
+    /// program must also pass static verification (`dpu-verify`) and its
+    /// derived config facts must admit `key.config`, otherwise the load
+    /// is [`SpillLookup::Unverifiable`].
     pub fn load(&self, key: &CacheKey) -> SpillLookup {
         let path = self.path_for(key);
         let mut bytes = Vec::new();
@@ -300,7 +327,21 @@ impl SpillStore {
         }
         match Compiled::from_bytes(&bytes[SPILL_HEADER_LEN..]) {
             Ok(compiled) if compiled.program.config == key.config => {
-                SpillLookup::Loaded(Box::new(compiled))
+                match compiled.verify() {
+                    Ok(report) if report.facts.admits(&key.config) => {
+                        SpillLookup::Loaded(Box::new(compiled))
+                    }
+                    // Unreachable when the program verifies under its own
+                    // config (the facts are derived under it), kept as
+                    // defense in depth for future cross-config loads.
+                    Ok(report) => {
+                        SpillLookup::Unverifiable(dpu_verify::VerifyError::FootprintOverflow {
+                            rows_used: report.facts.min_data_mem_rows,
+                            data_mem_rows: key.config.data_mem_rows,
+                        })
+                    }
+                    Err(e) => SpillLookup::Unverifiable(e),
+                }
             }
             Ok(_) => SpillLookup::Rejected("spilled program config mismatch".into()),
             Err(e) => SpillLookup::Rejected(e.to_string()),
@@ -407,6 +448,8 @@ pub struct ProgramCache {
     spill_hits: AtomicU64,
     spill_writes: AtomicU64,
     spill_rejects: AtomicU64,
+    spill_verified: AtomicU64,
+    spill_unverifiable: AtomicU64,
     /// Reason of the most recent spill rejection, for diagnostics
     /// ([`ProgramCache::last_spill_reject`]).
     last_reject: Mutex<Option<String>>,
@@ -464,6 +507,8 @@ impl ProgramCache {
             spill_hits: AtomicU64::new(0),
             spill_writes: AtomicU64::new(0),
             spill_rejects: AtomicU64::new(0),
+            spill_verified: AtomicU64::new(0),
+            spill_unverifiable: AtomicU64::new(0),
             last_reject: Mutex::new(None),
         }
     }
@@ -491,6 +536,11 @@ impl ProgramCache {
     fn note_reject(&self, why: String) {
         self.spill_rejects.fetch_add(1, Ordering::Relaxed);
         *self.last_reject.lock().expect("reject note poisoned") = Some(why);
+    }
+
+    fn note_unverifiable(&self, err: &dpu_verify::VerifyError) {
+        self.spill_unverifiable.fetch_add(1, Ordering::Relaxed);
+        self.note_reject(format!("static verification: {err}"));
     }
 
     /// Returns the compiled program for `(key, config)`, compiling `dag`
@@ -534,9 +584,11 @@ impl ProgramCache {
             match store.load(&key) {
                 SpillLookup::Loaded(compiled) => {
                     // Served without compiling: a hit, back-filled from
-                    // disk (this is what makes a restart warm).
+                    // disk (this is what makes a restart warm). The load
+                    // already ran the static verifier.
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     self.spill_hits.fetch_add(1, Ordering::Relaxed);
+                    self.spill_verified.fetch_add(1, Ordering::Relaxed);
                     let compiled = Arc::new(*compiled);
                     *slot.compiled.write().expect("cache slot poisoned") =
                         Some(Arc::clone(&compiled));
@@ -544,6 +596,9 @@ impl ProgramCache {
                 }
                 SpillLookup::Rejected(why) => {
                     self.note_reject(why);
+                }
+                SpillLookup::Unverifiable(e) => {
+                    self.note_unverifiable(&e);
                 }
                 SpillLookup::Absent => {}
             }
@@ -601,11 +656,15 @@ impl ProgramCache {
                     if guard.is_none() {
                         *guard = Some(Arc::new(*compiled));
                         self.spill_hits.fetch_add(1, Ordering::Relaxed);
+                        self.spill_verified.fetch_add(1, Ordering::Relaxed);
                         loaded += 1;
                     }
                 }
                 SpillLookup::Rejected(why) => {
                     self.note_reject(why);
+                }
+                SpillLookup::Unverifiable(e) => {
+                    self.note_unverifiable(&e);
                 }
                 SpillLookup::Absent => {}
             }
@@ -686,6 +745,8 @@ impl ProgramCache {
             spill_hits: self.spill_hits.load(Ordering::Relaxed),
             spill_writes: self.spill_writes.load(Ordering::Relaxed),
             spill_rejects: self.spill_rejects.load(Ordering::Relaxed),
+            spill_verified: self.spill_verified.load(Ordering::Relaxed),
+            spill_unverifiable: self.spill_unverifiable.load(Ordering::Relaxed),
         }
     }
 }
@@ -990,6 +1051,78 @@ mod tests {
         let store = SpillStore::new(&dir, &CompileOptions::default()).unwrap();
         let cache2 = ProgramCache::with_store(CompileOptions::default(), None, Some(store));
         assert_eq!(cache2.prewarm(&ArchConfig::new(3, 16, 32).unwrap()), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The checksum-alone trust gap, end to end: a spill file whose bytes
+    /// are perfectly intact (valid magic, version, key, options tag and
+    /// checksum) but whose *program* is corrupt must be refused at load by
+    /// the static verifier with a typed reason — and the cache falls back
+    /// to compiling instead of serving the broken program.
+    #[test]
+    fn semantically_corrupt_spill_is_refused_by_verifier() {
+        let dir = temp_dir("unverifiable");
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let d = dag(3);
+        let k = dag_fingerprint(&d);
+        let key = CacheKey {
+            dag: k,
+            config: cfg,
+        };
+        let store = SpillStore::new(&dir, &CompileOptions::default()).unwrap();
+        let cache = ProgramCache::with_store(CompileOptions::default(), None, Some(store));
+        let good = cache.get_or_compile(&d, k, &cfg).unwrap();
+
+        // Tamper semantically: drop the program's last store, so an
+        // output is never written. Then re-spill through the store's own
+        // API — the file gets a *correct* checksum over corrupt contents.
+        let mut bad = (*good).clone();
+        let last_store = bad
+            .program
+            .instrs
+            .iter()
+            .rposition(|i| {
+                matches!(
+                    i,
+                    dpu_isa::Instr::Store { .. } | dpu_isa::Instr::StoreK { .. }
+                )
+            })
+            .expect("program stores its outputs");
+        bad.program.instrs.remove(last_store);
+        cache.spill_store().unwrap().store(&key, &bad).unwrap();
+
+        // A restarted cache must refuse the entry at load (typed, counted)
+        // and compile instead — never panic, never serve the bad program.
+        let store = SpillStore::new(&dir, &CompileOptions::default()).unwrap();
+        match store.load(&key) {
+            SpillLookup::Unverifiable(e) => {
+                assert!(
+                    matches!(
+                        e,
+                        dpu_verify::VerifyError::OutputNotStored { .. }
+                            | dpu_verify::VerifyError::ReadUndefined { .. }
+                    ),
+                    "unexpected diagnostic: {e}"
+                );
+            }
+            other => panic!("expected Unverifiable, got {other:?}"),
+        }
+        let store = SpillStore::new(&dir, &CompileOptions::default()).unwrap();
+        let fresh = ProgramCache::with_store(CompileOptions::default(), None, Some(store));
+        let recompiled = fresh.get_or_compile(&d, k, &cfg).unwrap();
+        assert_eq!(recompiled.program, good.program);
+        let s = fresh.stats();
+        assert_eq!(
+            (
+                s.misses,
+                s.spill_rejects,
+                s.spill_unverifiable,
+                s.spill_verified
+            ),
+            (1, 1, 1, 0)
+        );
+        let why = fresh.last_spill_reject().expect("reason recorded");
+        assert!(why.contains("static verification"), "reason: {why}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -80,7 +80,9 @@ use dpu_isa::ArchConfig;
 
 use crate::backend::Backend;
 use crate::cache::CacheStats;
-use crate::ingest::{Admission, Gate, Job, Outcome, Priority, ShedReason, Submitter, TicketState};
+use crate::ingest::{
+    job_channel, Admission, Gate, Job, Outcome, Priority, ShedReason, Submitter, TicketState,
+};
 use crate::latency::{Clock, LatencyReport, Timeline};
 use crate::pool::{Engine, EngineOptions, Request};
 use crate::{DagKey, DPU_V2_L_CORES};
@@ -567,6 +569,8 @@ impl DispatchReport {
             total.spill_hits += s.cache.spill_hits;
             total.spill_writes += s.cache.spill_writes;
             total.spill_rejects += s.cache.spill_rejects;
+            total.spill_verified += s.cache.spill_verified;
+            total.spill_unverifiable += s.cache.spill_unverifiable;
         }
         total
     }
@@ -728,17 +732,22 @@ impl Dispatcher {
             .collect();
 
         // Steal classes: shard j may steal from shard k iff they share a
-        // class — same primary/mirror role and equal backend
-        // `StealClass` (identical per-request results), represented as
-        // the index of the first shard of the class.
+        // class — same primary/mirror role and *compatible* backend
+        // `StealClass` (statically proven identical per-request results;
+        // see [`StealClass::compatible`]) — represented as the index of
+        // the first shard of the class. Compatibility is an equivalence
+        // relation (field-wise equality with `data_mem_rows` projected
+        // out), so first-match classification is well defined.
         let steal_class: Arc<Vec<usize>> = Arc::new(
             (0..n)
                 .map(|j| {
                     (0..n)
                         .position(|k| {
                             shards[k].mirror == shards[j].mirror
-                                && shards[k].backend.steal_class()
-                                    == shards[j].backend.steal_class()
+                                && shards[k]
+                                    .backend
+                                    .steal_class()
+                                    .compatible(&shards[j].backend.steal_class())
                         })
                         .expect("self always matches")
                 })
@@ -760,7 +769,7 @@ impl Dispatcher {
             count: Mutex::new(0),
             zero: Condvar::new(),
         });
-        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+        let (tx, rx) = job_channel();
         let shut_down = Arc::new(RwLock::new(false));
         let started = Instant::now();
         let window = Arc::new(ServingWindow::new());

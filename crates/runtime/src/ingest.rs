@@ -574,6 +574,18 @@ pub(crate) enum Job {
     Shutdown,
 }
 
+/// Constructs the ingestion channel. This is the **only** place in
+/// `dpu-runtime` allowed to build an unbounded channel (CI's
+/// forbidden-pattern lint enforces it): the channel may be unbounded
+/// precisely because admission control ([`Admission`]) bounds what enters
+/// it — overload is refused at submission, not buffered here.
+pub(crate) fn job_channel() -> (
+    crossbeam::channel::Sender<Job>,
+    crossbeam::channel::Receiver<Job>,
+) {
+    crossbeam::channel::unbounded::<Job>()
+}
+
 /// Exponentially weighted moving average cell (α = 1/8), racy by design:
 /// readers want a cheap live estimate, not a ledger.
 fn ewma_update(cell: &AtomicU64, observed: u64) {

@@ -94,6 +94,10 @@ pub enum SimError {
         /// Decoder diagnostic.
         detail: String,
     },
+    /// A batch run was requested with zero cores.
+    NoCores,
+    /// A batch run was requested with an empty batch.
+    EmptyBatch,
     /// The simulator's outputs disagree with the reference evaluator.
     Mismatch {
         /// Index of the first mismatching output.
@@ -122,6 +126,8 @@ impl std::fmt::Display for SimError {
                 write!(f, "bank {bank} latches an idle PE output")
             }
             SimError::BadImage { detail } => write!(f, "packed image: {detail}"),
+            SimError::NoCores => write!(f, "batch run requested with zero cores"),
+            SimError::EmptyBatch => write!(f, "batch run requested with an empty batch"),
             SimError::Mismatch {
                 index,
                 got,
@@ -762,18 +768,21 @@ impl BatchResult {
 ///
 /// # Errors
 ///
-/// Fails on the first input whose simulation fails (see [`SimError`]).
-///
-/// # Panics
-///
-/// Panics if `cores == 0` or `batch` is empty.
+/// [`SimError::NoCores`] if `cores == 0`, [`SimError::EmptyBatch`] if
+/// `batch` is empty (typed rather than panicking so a malformed request
+/// can never abort a serving shard), and otherwise the first input whose
+/// simulation fails (see [`SimError`]).
 pub fn run_batch(
     compiled: &Compiled,
     batch: &[Vec<f32>],
     cores: usize,
 ) -> Result<BatchResult, SimError> {
-    assert!(cores > 0, "cores must be positive");
-    assert!(!batch.is_empty(), "batch must not be empty");
+    if cores == 0 {
+        return Err(SimError::NoCores);
+    }
+    if batch.is_empty() {
+        return Err(SimError::EmptyBatch);
+    }
     // One machine, reset per input: no per-request allocation.
     let mut m = Machine::new(compiled.program.config);
     let mut runs = Vec::with_capacity(batch.len());
@@ -978,6 +987,24 @@ mod tests {
         }
         // 7 inputs on 4 cores -> 2 rounds of the program length.
         assert_eq!(res.batch_cycles, 2 * res.runs[0].cycles);
+    }
+
+    #[test]
+    fn malformed_batch_requests_are_typed_errors_not_panics() {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        b.node(Op::Add, &[x, x]).unwrap();
+        let dag = b.finish().unwrap();
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let compiled = compile(&dag, &cfg, &CompileOptions::default()).unwrap();
+        assert_eq!(
+            run_batch(&compiled, &[vec![1.0]], 0).unwrap_err(),
+            SimError::NoCores
+        );
+        assert_eq!(
+            run_batch(&compiled, &[], 4).unwrap_err(),
+            SimError::EmptyBatch
+        );
     }
 
     #[test]

@@ -1,0 +1,1052 @@
+//! Static program verifier for compiled DPU-v2 programs.
+//!
+//! The cycle-level simulator (`dpu-sim`) *checks* hazards at run time:
+//! reading an empty register, clashing writebacks or bank overflow abort
+//! the run. This crate proves the same invariants **without executing the
+//! program**, by replaying the instruction stream once over an abstract
+//! machine that tracks register occupancy instead of values. Because the
+//! replay mirrors [`dpu_sim::Machine::step`] exactly — the automatic
+//! write-address generator, `valid_rst` freeing, the `D+1`-slot writeback
+//! ring — a program accepted here cannot raise a structural
+//! `SimError` on any input.
+//!
+//! [`verify_program`] checks, in one pass:
+//!
+//! 1. **Def-before-use / single-assignment**: every register read is
+//!    dominated by a write to that slot, and the priority-encoder write
+//!    policy never overflows a bank ([`VerifyError::ReadUndefined`],
+//!    [`VerifyError::BankOverflow`]).
+//! 2. **Bank-port legality**: no instruction word drives a bank's single
+//!    read or write port twice in one cycle, including `exec` writebacks
+//!    landing `D` cycles after issue ([`VerifyError::WritePortClash`]).
+//! 3. **Interconnect legality**: every `exec` operand routing is
+//!    realizable by the configured [`Topology`], every
+//!    [`dpu_isa::PeId`] is valid, every writeback respects
+//!    [`dpu_isa::interconnect::can_write`]
+//!    ([`VerifyError::Structural`]).
+//! 4. **Address bounds**: all rows touched fit the program's declared
+//!    [`LayoutFacts`] footprint and the configuration's data memory
+//!    ([`VerifyError::FootprintOverflow`], [`VerifyError::UnexpectedLoad`],
+//!    [`VerifyError::UnexpectedStore`]).
+//! 5. **Output completeness**: the store set covers every declared output
+//!    slot exactly once ([`VerifyError::OutputNotStored`],
+//!    [`VerifyError::OutputStoredTwice`]).
+//! 6. **Config facts**: the returned [`ConfigFacts`] records exactly which
+//!    architecture parameters the program relies on — the basis of the
+//!    runtime's steal-compatibility relation ([`steal_compatible`]) and of
+//!    cross-config admission at spill load ([`ConfigFacts::admits`]).
+//!
+//! [`dpu_sim::Machine::step`]: https://docs.rs/dpu-sim
+//!
+//! # Example
+//!
+//! ```
+//! use dpu_isa::{ArchConfig, Instr, Program, RegRead};
+//! use dpu_verify::{verify_program, LayoutFacts};
+//!
+//! let cfg = ArchConfig::new(2, 8, 16).unwrap();
+//! let mut mask = vec![false; cfg.banks as usize];
+//! mask[0] = true;
+//! let program = Program::new(
+//!     cfg,
+//!     vec![
+//!         Instr::Load { row: 0, mask },
+//!         Instr::StoreK {
+//!             row: 1,
+//!             reads: vec![RegRead { bank: 0, addr: 0, valid_rst: true }],
+//!         },
+//!     ],
+//! )
+//! .unwrap();
+//! let layout = LayoutFacts {
+//!     input_slots: &[(0, 0)],
+//!     output_slots: &[(1, 0)],
+//!     spill_base: 2,
+//!     rows_used: 2,
+//! };
+//! let report = verify_program(&program, &layout).unwrap();
+//! assert!(report.facts.admits(&cfg));
+//! ```
+
+use dpu_isa::{interconnect, ArchConfig, Instr, Program, Topology};
+use serde::{Deserialize, Serialize};
+
+/// A typed verification failure: the first invariant violation found, with
+/// enough position information to pinpoint the offending instruction.
+///
+/// Every variant indicates a malformed or corrupt program — a compiler bug,
+/// a tampered spill entry, or a program/config mismatch — never a
+/// data-dependent condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// An instruction failed [`Instr::validate`] (vector lengths, bank and
+    /// address ranges, interconnect legality, idle-PE writebacks).
+    Structural {
+        /// Instruction index.
+        pc: usize,
+        /// The validator's diagnostic.
+        detail: String,
+    },
+    /// A register was read before any write reached it (or after its last
+    /// `valid_rst` read freed it).
+    ReadUndefined {
+        /// Instruction index of the read.
+        pc: usize,
+        /// Bank read.
+        bank: u32,
+        /// Address read.
+        addr: u32,
+    },
+    /// The automatic write-address generator found no free register.
+    BankOverflow {
+        /// Cycle of the overflowing write (equals the instruction index
+        /// while the program issues; later during the pipeline drain).
+        cycle: u64,
+        /// The bank.
+        bank: u32,
+    },
+    /// A bank's single write port was driven twice in one cycle (an `exec`
+    /// writeback landing on top of another write).
+    WritePortClash {
+        /// The cycle.
+        cycle: u64,
+        /// The bank.
+        bank: u32,
+    },
+    /// The declared data-memory footprint exceeds the configuration's
+    /// capacity.
+    FootprintOverflow {
+        /// Rows the layout claims to use.
+        rows_used: u32,
+        /// Rows the configuration provides.
+        data_mem_rows: u32,
+    },
+    /// An input or output slot lies outside the declared footprint or the
+    /// bank range.
+    SlotOutOfBounds {
+        /// `"input"` or `"output"`.
+        what: &'static str,
+        /// Slot ordinal.
+        ordinal: usize,
+        /// Slot row.
+        row: u32,
+        /// Slot column.
+        col: u32,
+    },
+    /// A `load` reads a row that is neither an input row, an output row,
+    /// nor a spill row — uninitialized memory.
+    UnexpectedLoad {
+        /// Instruction index.
+        pc: usize,
+        /// The row.
+        row: u32,
+    },
+    /// A store writes a word that is neither a declared output slot nor in
+    /// the spill region.
+    UnexpectedStore {
+        /// Instruction index.
+        pc: usize,
+        /// Target row.
+        row: u32,
+        /// Target column.
+        col: u32,
+    },
+    /// A declared output slot is never stored.
+    OutputNotStored {
+        /// Output ordinal (index into the layout's output slots).
+        ordinal: usize,
+        /// Slot row.
+        row: u32,
+        /// Slot column.
+        col: u32,
+    },
+    /// A declared output slot is stored more than once.
+    OutputStoredTwice {
+        /// Output ordinal (index into the layout's output slots).
+        ordinal: usize,
+        /// Slot row.
+        row: u32,
+        /// Slot column.
+        col: u32,
+        /// Number of stores that hit the slot.
+        times: u32,
+    },
+    /// The replayed cycle count disagrees with the count the compiler
+    /// declared (constructed by callers that know the declared count, e.g.
+    /// `dpu-compiler`'s post-compile verification).
+    CycleMismatch {
+        /// Cycles of the static replay (including pipeline drain).
+        replayed: u64,
+        /// Cycles the program metadata declares.
+        declared: u64,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Structural { pc, detail } => {
+                write!(f, "instr {pc}: {detail}")
+            }
+            VerifyError::ReadUndefined { pc, bank, addr } => {
+                write!(f, "instr {pc}: read of undefined register {bank}:{addr}")
+            }
+            VerifyError::BankOverflow { cycle, bank } => {
+                write!(f, "cycle {cycle}: bank {bank} overflows")
+            }
+            VerifyError::WritePortClash { cycle, bank } => {
+                write!(f, "cycle {cycle}: two writes drive bank {bank}")
+            }
+            VerifyError::FootprintOverflow {
+                rows_used,
+                data_mem_rows,
+            } => write!(
+                f,
+                "layout uses {rows_used} rows but data memory has {data_mem_rows}"
+            ),
+            VerifyError::SlotOutOfBounds {
+                what,
+                ordinal,
+                row,
+                col,
+            } => write!(f, "{what} slot {ordinal} ({row},{col}) out of bounds"),
+            VerifyError::UnexpectedLoad { pc, row } => {
+                write!(f, "instr {pc}: load of uninitialized row {row}")
+            }
+            VerifyError::UnexpectedStore { pc, row, col } => {
+                write!(
+                    f,
+                    "instr {pc}: store to ({row},{col}) which is neither an output slot nor spill"
+                )
+            }
+            VerifyError::OutputNotStored { ordinal, row, col } => {
+                write!(f, "output {ordinal} at ({row},{col}) is never stored")
+            }
+            VerifyError::OutputStoredTwice {
+                ordinal,
+                row,
+                col,
+                times,
+            } => write!(
+                f,
+                "output {ordinal} at ({row},{col}) stored {times} times (expected once)"
+            ),
+            VerifyError::CycleMismatch { replayed, declared } => {
+                write!(
+                    f,
+                    "static replay takes {replayed} cycles, program declares {declared}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The data-memory layout facts the verifier checks a program against — a
+/// borrowed view of `dpu_compiler::DataLayout`, kept here so this crate
+/// depends only on `dpu-isa`.
+#[derive(Debug, Clone, Copy)]
+pub struct LayoutFacts<'a> {
+    /// `(row, col)` of every DAG input, `(u32::MAX, u32::MAX)` for inputs
+    /// the program never reads.
+    pub input_slots: &'a [(u32, u32)],
+    /// `(row, col)` where each declared output is stored.
+    pub output_slots: &'a [(u32, u32)],
+    /// First spill row; rows at or above this are scratch space.
+    pub spill_base: u32,
+    /// Total rows used (inputs + outputs + spills).
+    pub rows_used: u32,
+}
+
+/// The architecture facts a verified program actually relies on — the
+/// program's *steal class* in fingerprint form.
+///
+/// A program verified under one [`ArchConfig`] runs identically under any
+/// other configuration these facts [admit](ConfigFacts::admits): the bank
+/// count and tree depth are woven into every instruction word, but extra
+/// registers per bank never change the priority encoder's choices below
+/// the high-water mark, extra data-memory rows never change addressing,
+/// and a topology is interchangeable if it realizes every routing the
+/// program uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConfigFacts {
+    /// Exact tree depth the program schedules around (pipeline latency and
+    /// PE indexing).
+    pub depth: u32,
+    /// Exact bank count (instruction word width).
+    pub banks: u32,
+    /// Minimum registers per bank: the occupancy high-water mark of the
+    /// fullest bank.
+    pub min_regs_per_bank: u32,
+    /// Minimum data-memory rows: the footprint high-water mark.
+    pub min_data_mem_rows: u32,
+    /// Bit `i` set iff `Topology::all()[i]` realizes every operand routing
+    /// and writeback the program performs.
+    pub topology_mask: u8,
+}
+
+impl ConfigFacts {
+    /// Whether `cfg` satisfies every fact, i.e. whether the program this
+    /// fingerprint was derived from is proven safe to run under `cfg`.
+    pub fn admits(&self, cfg: &ArchConfig) -> bool {
+        let topo_bit = Topology::all()
+            .iter()
+            .position(|&t| t == cfg.topology)
+            .expect("Topology::all covers all variants");
+        cfg.depth == self.depth
+            && cfg.banks == self.banks
+            && cfg.regs_per_bank >= self.min_regs_per_bank
+            && cfg.data_mem_rows >= self.min_data_mem_rows
+            && self.topology_mask & (1 << topo_bit) != 0
+    }
+
+    /// Stable 64-bit fingerprint of the facts (FNV-1a; platform- and
+    /// process-independent).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for word in [
+            u64::from(self.depth),
+            u64::from(self.banks),
+            u64::from(self.min_regs_per_bank),
+            u64::from(self.min_data_mem_rows),
+            u64::from(self.topology_mask),
+        ] {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
+    }
+}
+
+/// Proof object returned by [`verify_program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Instructions analyzed.
+    pub instrs: usize,
+    /// Cycles of the static replay, including the pipeline drain — must
+    /// equal the simulator's cycle count for the same program.
+    pub cycles: u64,
+    /// The architecture facts the program relies on.
+    pub facts: ConfigFacts,
+}
+
+/// The steal-compatibility relation between two architecture
+/// configurations: shards whose configurations agree on every
+/// *code-generation-relevant* parameter (`depth`, `banks`,
+/// `regs_per_bank`, `topology`) compile byte-identical programs and
+/// produce byte-identical results, so one may serve the other's requests.
+///
+/// `data_mem_rows` is deliberately exempt: compilation never reads the
+/// capacity, only the footprint, so two shards differing only in data
+/// memory size emit identical instruction streams. A program whose
+/// footprint fits one but not the other fails compile-time verification on
+/// the smaller shard with a typed error ([`VerifyError::FootprintOverflow`])
+/// rather than corrupting results, and spill-loaded programs are re-checked
+/// per config via [`ConfigFacts::admits`].
+pub fn steal_compatible(a: &ArchConfig, b: &ArchConfig) -> bool {
+    a.depth == b.depth
+        && a.banks == b.banks
+        && a.regs_per_bank == b.regs_per_bank
+        && a.topology == b.topology
+}
+
+/// The abstract machine of the static replay: register occupancy plus the
+/// in-flight writeback ring, mirroring `dpu_sim::Machine` field for field
+/// with values erased.
+struct Replay {
+    /// Per-bank occupancy bitmaps (true = valid/live).
+    banks: Vec<Vec<bool>>,
+    /// Per-bank live-register count.
+    occ: Vec<u32>,
+    /// Per-bank occupancy high-water mark.
+    high_water: Vec<u32>,
+    /// Ring of `D+1` slots of banks receiving in-flight exec writebacks,
+    /// indexed by `cycle % (D+1)`.
+    pending: Vec<Vec<u32>>,
+    pending_count: usize,
+    cycle: u64,
+}
+
+impl Replay {
+    fn new(cfg: ArchConfig) -> Self {
+        Replay {
+            banks: vec![vec![false; cfg.regs_per_bank as usize]; cfg.banks as usize],
+            occ: vec![0; cfg.banks as usize],
+            high_water: vec![0; cfg.banks as usize],
+            pending: vec![Vec::new(); cfg.depth as usize + 1],
+            pending_count: 0,
+            cycle: 0,
+        }
+    }
+
+    fn read(&self, pc: usize, bank: u32, addr: u32) -> Result<(), VerifyError> {
+        if self.banks[bank as usize][addr as usize] {
+            Ok(())
+        } else {
+            Err(VerifyError::ReadUndefined { pc, bank, addr })
+        }
+    }
+
+    fn free(&mut self, bank: u32, addr: u32) {
+        if std::mem::replace(&mut self.banks[bank as usize][addr as usize], false) {
+            self.occ[bank as usize] -= 1;
+        }
+    }
+
+    /// Priority-encoder write: occupies the lowest free register.
+    fn auto_write(&mut self, bank: u32) -> Result<(), VerifyError> {
+        let col = &mut self.banks[bank as usize];
+        let a = col
+            .iter()
+            .position(|v| !v)
+            .ok_or(VerifyError::BankOverflow {
+                cycle: self.cycle,
+                bank,
+            })?;
+        col[a] = true;
+        self.occ[bank as usize] += 1;
+        let hw = &mut self.high_water[bank as usize];
+        *hw = (*hw).max(self.occ[bank as usize]);
+        Ok(())
+    }
+
+    /// Lands the writebacks due this cycle; `extra_writes` are banks the
+    /// issuing instruction already wrote (write-port conflict detection),
+    /// exactly as `Machine::land_pending`.
+    fn land_pending(&mut self, extra_writes: &[u32]) -> Result<(), VerifyError> {
+        let slot = (self.cycle % self.pending.len() as u64) as usize;
+        if self.pending[slot].is_empty() {
+            return Ok(());
+        }
+        let list = std::mem::take(&mut self.pending[slot]);
+        self.pending_count -= list.len();
+        let mut seen: Vec<u32> = extra_writes.to_vec();
+        for &bank in &list {
+            if seen.contains(&bank) {
+                return Err(VerifyError::WritePortClash {
+                    cycle: self.cycle,
+                    bank,
+                });
+            }
+            seen.push(bank);
+            self.auto_write(bank)?;
+        }
+        Ok(())
+    }
+}
+
+/// Verifies `program` against `layout` by static replay; see the crate
+/// docs for the invariant list.
+///
+/// # Errors
+///
+/// The first [`VerifyError`] found, in program order.
+pub fn verify_program(
+    program: &Program,
+    layout: &LayoutFacts<'_>,
+) -> Result<VerifyReport, VerifyError> {
+    let cfg = program.config;
+
+    // Layout-level bounds (checks 4 and the slot preconditions of 5).
+    if layout.rows_used > cfg.data_mem_rows {
+        return Err(VerifyError::FootprintOverflow {
+            rows_used: layout.rows_used,
+            data_mem_rows: cfg.data_mem_rows,
+        });
+    }
+    for (ordinal, &(row, col)) in layout.input_slots.iter().enumerate() {
+        if row == u32::MAX {
+            continue; // unread input, never staged
+        }
+        if row >= layout.rows_used || col >= cfg.banks {
+            return Err(VerifyError::SlotOutOfBounds {
+                what: "input",
+                ordinal,
+                row,
+                col,
+            });
+        }
+    }
+    for (ordinal, &(row, col)) in layout.output_slots.iter().enumerate() {
+        if row >= layout.rows_used || col >= cfg.banks {
+            return Err(VerifyError::SlotOutOfBounds {
+                what: "output",
+                ordinal,
+                row,
+                col,
+            });
+        }
+    }
+
+    // Rows a load may legally read: rows holding inputs (staged by the
+    // host), rows holding outputs (written by the program), or the spill
+    // region. Anything else is uninitialized memory.
+    let mut loadable_rows: Vec<u32> = layout
+        .input_slots
+        .iter()
+        .chain(layout.output_slots.iter())
+        .map(|&(row, _)| row)
+        .filter(|&row| row != u32::MAX)
+        .collect();
+    loadable_rows.sort_unstable();
+    loadable_rows.dedup();
+
+    // Deduplicated output slots with store counts (duplicate output ids
+    // share one slot, which must still be stored exactly once).
+    let mut slot_counts: Vec<((u32, u32), u32)> = Vec::new();
+    for &slot in layout.output_slots {
+        if !slot_counts.iter().any(|&(s, _)| s == slot) {
+            slot_counts.push((slot, 0));
+        }
+    }
+    // Output slots aliasing an input slot are staged by the host (a DAG
+    // input requested as an output) and need no store.
+    let aliases_input = |slot: (u32, u32)| layout.input_slots.contains(&slot);
+
+    // Facts accumulated during the replay (check 6).
+    let mut topology_mask: u8 = (1 << Topology::all().len()) - 1;
+    let mut max_row_touched: u32 = 0;
+
+    let mut replay = Replay::new(cfg);
+    for (pc, instr) in program.instrs.iter().enumerate() {
+        // Structural legality first (checks 2 and 3 at the word level):
+        // vector lengths, bank/address ranges, one read address per bank,
+        // interconnect legality, no idle-PE writebacks. Re-checked here
+        // rather than trusted from `Program::new` because deserialized
+        // programs (spill entries) reach the verifier without passing
+        // through the constructor.
+        instr
+            .validate(&cfg)
+            .map_err(|detail| VerifyError::Structural { pc, detail })?;
+
+        let mut immediate_writes: Vec<u32> = Vec::new();
+        match instr {
+            Instr::Nop => {}
+            Instr::Load { row, mask } => {
+                if loadable_rows.binary_search(row).is_err() && *row < layout.spill_base {
+                    return Err(VerifyError::UnexpectedLoad { pc, row: *row });
+                }
+                if *row >= layout.rows_used {
+                    return Err(VerifyError::UnexpectedLoad { pc, row: *row });
+                }
+                max_row_touched = max_row_touched.max(*row);
+                for (bank, &m) in mask.iter().enumerate() {
+                    if m {
+                        replay.auto_write(bank as u32)?;
+                        immediate_writes.push(bank as u32);
+                    }
+                }
+            }
+            Instr::Store { row, reads } => {
+                max_row_touched = max_row_touched.max(*row);
+                for (bank, r) in reads.iter().enumerate() {
+                    if let Some(r) = r {
+                        replay.read(pc, r.bank, r.addr)?;
+                        if r.valid_rst {
+                            replay.free(r.bank, r.addr);
+                        }
+                        note_store(pc, *row, bank as u32, layout, &mut slot_counts)?;
+                    }
+                }
+            }
+            Instr::StoreK { row, reads } => {
+                max_row_touched = max_row_touched.max(*row);
+                for r in reads {
+                    replay.read(pc, r.bank, r.addr)?;
+                    if r.valid_rst {
+                        replay.free(r.bank, r.addr);
+                    }
+                    note_store(pc, *row, r.bank, layout, &mut slot_counts)?;
+                }
+            }
+            Instr::CopyK { moves } => {
+                // All reads precede all writes (crossbar pass).
+                for m in moves {
+                    replay.read(pc, m.src.bank, m.src.addr)?;
+                    if m.src.valid_rst {
+                        replay.free(m.src.bank, m.src.addr);
+                    }
+                }
+                for m in moves {
+                    replay.auto_write(m.dst_bank)?;
+                    immediate_writes.push(m.dst_bank);
+                }
+            }
+            Instr::Exec(e) => {
+                // Operand fetch: liveness per read; valid_rst after all
+                // reads of the cycle (idempotent per register).
+                for (port, r) in e.reads.iter().enumerate() {
+                    let Some(r) = r else { continue };
+                    replay.read(pc, r.bank, r.addr)?;
+                    if r.bank != port as u32 {
+                        // Cross routing requires an input crossbar.
+                        for (i, t) in Topology::all().iter().enumerate() {
+                            if !t.input_is_crossbar() {
+                                topology_mask &= !(1 << i);
+                            }
+                        }
+                    }
+                }
+                for r in e.reads.iter().flatten() {
+                    if r.valid_rst {
+                        replay.free(r.bank, r.addr);
+                    }
+                }
+                // Writebacks land D cycles after issue. `validate` proved
+                // each producing PE is real, routable under the program's
+                // own topology, and not idle — so each declared write
+                // carries a value. Narrow the admissible-topology mask to
+                // those that also realize this routing.
+                let land_at = replay.cycle + u64::from(cfg.depth);
+                let slot = (land_at % replay.pending.len() as u64) as usize;
+                for (bank, w) in e.writes.iter().enumerate() {
+                    let Some(pe) = w else { continue };
+                    for (i, &t) in Topology::all().iter().enumerate() {
+                        if topology_mask & (1 << i) != 0 {
+                            let mut alt = cfg;
+                            alt.topology = t;
+                            if !interconnect::can_write(&alt, *pe, bank as u32) {
+                                topology_mask &= !(1 << i);
+                            }
+                        }
+                    }
+                    replay.pending[slot].push(bank as u32);
+                    replay.pending_count += 1;
+                }
+            }
+        }
+        replay.land_pending(&immediate_writes)?;
+        replay.cycle += 1;
+    }
+    // Pipeline drain.
+    while replay.pending_count > 0 {
+        replay.land_pending(&[])?;
+        replay.cycle += 1;
+    }
+
+    // Output completeness (check 5).
+    for (ordinal, &(slot, count)) in slot_counts.iter().enumerate() {
+        if aliases_input(slot) {
+            continue;
+        }
+        let (row, col) = slot;
+        if count == 0 {
+            return Err(VerifyError::OutputNotStored { ordinal, row, col });
+        }
+        if count > 1 {
+            return Err(VerifyError::OutputStoredTwice {
+                ordinal,
+                row,
+                col,
+                times: count,
+            });
+        }
+    }
+
+    let facts = ConfigFacts {
+        depth: cfg.depth,
+        banks: cfg.banks,
+        min_regs_per_bank: replay.high_water.iter().copied().max().unwrap_or(0).max(2),
+        min_data_mem_rows: layout.rows_used.max(max_row_touched + 1),
+        topology_mask,
+    };
+    Ok(VerifyReport {
+        instrs: program.instrs.len(),
+        cycles: replay.cycle,
+        facts,
+    })
+}
+
+/// Classifies one stored word: counts it against its output slot, accepts
+/// it silently in the spill region, rejects it anywhere else.
+fn note_store(
+    pc: usize,
+    row: u32,
+    col: u32,
+    layout: &LayoutFacts<'_>,
+    slot_counts: &mut [((u32, u32), u32)],
+) -> Result<(), VerifyError> {
+    if row >= layout.rows_used {
+        return Err(VerifyError::UnexpectedStore { pc, row, col });
+    }
+    if let Some(entry) = slot_counts.iter_mut().find(|(s, _)| *s == (row, col)) {
+        entry.1 += 1;
+        return Ok(());
+    }
+    if row >= layout.spill_base {
+        return Ok(());
+    }
+    Err(VerifyError::UnexpectedStore { pc, row, col })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_isa::{CopyMove, ExecInstr, PeId, PeOpcode, PortRead, RegRead};
+
+    fn cfg() -> ArchConfig {
+        ArchConfig::new(2, 8, 16).unwrap()
+    }
+
+    fn read(bank: u32, addr: u32, rst: bool) -> RegRead {
+        RegRead {
+            bank,
+            addr,
+            valid_rst: rst,
+        }
+    }
+
+    type Slots = Vec<(u32, u32)>;
+
+    /// Load one word into bank 0 and store it to the single output slot.
+    fn tiny_program(cfg: ArchConfig) -> (Program, Slots, Slots) {
+        let mut mask = vec![false; cfg.banks as usize];
+        mask[0] = true;
+        let p = Program::new(
+            cfg,
+            vec![
+                Instr::Load { row: 0, mask },
+                Instr::StoreK {
+                    row: 1,
+                    reads: vec![read(0, 0, true)],
+                },
+            ],
+        )
+        .unwrap();
+        (p, vec![(0, 0)], vec![(1, 0)])
+    }
+
+    fn layout_of<'a>(
+        inputs: &'a [(u32, u32)],
+        outputs: &'a [(u32, u32)],
+        spill_base: u32,
+        rows_used: u32,
+    ) -> LayoutFacts<'a> {
+        LayoutFacts {
+            input_slots: inputs,
+            output_slots: outputs,
+            spill_base,
+            rows_used,
+        }
+    }
+
+    #[test]
+    fn accepts_well_formed_program() {
+        let cfg = cfg();
+        let (p, ins, outs) = tiny_program(cfg);
+        let rep = verify_program(&p, &layout_of(&ins, &outs, 2, 2)).unwrap();
+        assert_eq!(rep.instrs, 2);
+        assert_eq!(rep.cycles, 2);
+        assert!(rep.facts.admits(&cfg));
+        assert_eq!(rep.facts.min_regs_per_bank, 2);
+        assert_eq!(rep.facts.min_data_mem_rows, 2);
+        // No exec at all: every topology realizes the program.
+        assert_eq!(rep.facts.topology_mask, 0b1111);
+    }
+
+    #[test]
+    fn rejects_read_before_write() {
+        let cfg = cfg();
+        let p = Program::new(
+            cfg,
+            vec![Instr::StoreK {
+                row: 1,
+                reads: vec![read(0, 0, false)],
+            }],
+        )
+        .unwrap();
+        let err = verify_program(&p, &layout_of(&[(0, 0)], &[(1, 0)], 2, 2)).unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::ReadUndefined {
+                pc: 0,
+                bank: 0,
+                addr: 0
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_use_after_free() {
+        let cfg = cfg();
+        let mut mask = vec![false; cfg.banks as usize];
+        mask[0] = true;
+        let p = Program::new(
+            cfg,
+            vec![
+                Instr::Load { row: 0, mask },
+                Instr::CopyK {
+                    moves: vec![CopyMove {
+                        src: read(0, 0, true), // last read frees 0:0
+                        dst_bank: 1,
+                    }],
+                },
+                Instr::StoreK {
+                    row: 1,
+                    reads: vec![read(0, 0, false)], // stale
+                },
+            ],
+        )
+        .unwrap();
+        let err = verify_program(&p, &layout_of(&[(0, 0)], &[(1, 0)], 2, 2)).unwrap_err();
+        assert!(
+            matches!(err, VerifyError::ReadUndefined { pc: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_bank_overflow() {
+        let cfg = ArchConfig::new(1, 2, 2).unwrap();
+        let mask = vec![true, false];
+        let load = Instr::Load { row: 0, mask };
+        let p = Program::new(cfg, vec![load.clone(), load.clone(), load]).unwrap();
+        let err = verify_program(&p, &layout_of(&[(0, 0)], &[(1, 1)], 2, 2)).unwrap_err();
+        assert_eq!(err, VerifyError::BankOverflow { cycle: 2, bank: 0 });
+    }
+
+    #[test]
+    fn rejects_write_port_clash() {
+        // D=1: an exec issued at cycle 1 lands at the end of cycle 2; a
+        // load writing the same bank at cycle 2 clashes.
+        let cfg = ArchConfig::new(1, 2, 4).unwrap();
+        let pe = PeId::new(0, 1, 0);
+        let mut e = ExecInstr::idle(&cfg);
+        e.pe_ops[pe.flat_index(&cfg) as usize] = PeOpcode::Add;
+        e.reads[0] = Some(PortRead {
+            bank: 0,
+            addr: 0,
+            valid_rst: false,
+        });
+        e.reads[1] = Some(PortRead {
+            bank: 1,
+            addr: 0,
+            valid_rst: false,
+        });
+        e.writes[0] = Some(pe);
+        let p = Program::new(
+            cfg,
+            vec![
+                Instr::Load {
+                    row: 0,
+                    mask: vec![true, true],
+                },
+                Instr::Exec(e),
+                Instr::Load {
+                    row: 0,
+                    mask: vec![true, false],
+                },
+            ],
+        )
+        .unwrap();
+        let err = verify_program(&p, &layout_of(&[(0, 0), (0, 1)], &[(1, 0)], 2, 2)).unwrap_err();
+        assert_eq!(err, VerifyError::WritePortClash { cycle: 2, bank: 0 });
+    }
+
+    #[test]
+    fn rejects_missing_output_store() {
+        let cfg = cfg();
+        let (p, ins, _) = tiny_program(cfg);
+        // Claim a second output slot the program never stores.
+        let outs = vec![(1, 0), (1, 1)];
+        let err = verify_program(&p, &layout_of(&ins, &outs, 2, 2)).unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::OutputNotStored {
+                ordinal: 1,
+                row: 1,
+                col: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_double_output_store() {
+        let cfg = cfg();
+        let mut mask = vec![false; cfg.banks as usize];
+        mask[0] = true;
+        let p = Program::new(
+            cfg,
+            vec![
+                Instr::Load {
+                    row: 0,
+                    mask: mask.clone(),
+                },
+                Instr::Load { row: 0, mask },
+                Instr::StoreK {
+                    row: 1,
+                    reads: vec![read(0, 0, false)],
+                },
+                Instr::StoreK {
+                    row: 1,
+                    reads: vec![read(0, 0, true)],
+                },
+            ],
+        )
+        .unwrap();
+        let err = verify_program(&p, &layout_of(&[(0, 0)], &[(1, 0)], 2, 2)).unwrap_err();
+        assert!(
+            matches!(err, VerifyError::OutputStoredTwice { times: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_structurally_invalid_instruction() {
+        // Bypass Program::new (as a corrupt spill entry would) by building
+        // the struct directly.
+        let cfg = cfg();
+        let p = Program {
+            config: cfg,
+            instrs: vec![Instr::Load {
+                row: 0,
+                mask: vec![true; 3], // wrong width
+            }],
+        };
+        let err = verify_program(&p, &layout_of(&[(0, 0)], &[(1, 0)], 2, 2)).unwrap_err();
+        assert!(
+            matches!(err, VerifyError::Structural { pc: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_footprint_overflow() {
+        let cfg = cfg();
+        let (p, ins, outs) = tiny_program(cfg);
+        let err =
+            verify_program(&p, &layout_of(&ins, &outs, 2, cfg.data_mem_rows + 1)).unwrap_err();
+        assert!(
+            matches!(err, VerifyError::FootprintOverflow { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn output_aliasing_input_needs_no_store() {
+        let cfg = cfg();
+        let (p, ins, _) = tiny_program(cfg);
+        // Output 1 aliases the input slot: host-staged, no store required.
+        let outs = vec![(1, 0), (0, 0)];
+        assert!(verify_program(&p, &layout_of(&ins, &outs, 2, 2)).is_ok());
+    }
+
+    #[test]
+    fn facts_capture_register_pressure_and_admission() {
+        let cfg = ArchConfig::new(1, 2, 8).unwrap();
+        let mask = vec![true, false];
+        let p = Program::new(
+            cfg,
+            vec![
+                Instr::Load {
+                    row: 0,
+                    mask: mask.clone(),
+                },
+                Instr::Load {
+                    row: 0,
+                    mask: mask.clone(),
+                },
+                Instr::Load { row: 0, mask },
+                Instr::StoreK {
+                    row: 1,
+                    reads: vec![read(0, 2, true)],
+                },
+            ],
+        )
+        .unwrap();
+        let rep = verify_program(&p, &layout_of(&[(0, 0)], &[(1, 0)], 2, 2)).unwrap();
+        assert_eq!(rep.facts.min_regs_per_bank, 3);
+        // A configuration with fewer registers is not admitted; one with
+        // more is.
+        let mut small = cfg;
+        small.regs_per_bank = 2;
+        assert!(!rep.facts.admits(&small));
+        let mut big = cfg;
+        big.regs_per_bank = 64;
+        assert!(rep.facts.admits(&big));
+        // Different bank count or depth is never admitted.
+        assert!(!rep.facts.admits(&ArchConfig::new(1, 4, 8).unwrap()));
+        assert_ne!(
+            rep.facts.fingerprint(),
+            ConfigFacts {
+                banks: 4,
+                ..rep.facts
+            }
+            .fingerprint()
+        );
+    }
+
+    #[test]
+    fn topology_mask_narrows_to_realizable_routings() {
+        // A leaf-PE writeback to the second lane of its span is legal under
+        // (a) and (b) but not (c)/(d) (1:1 assignment maps the leaf to lane
+        // 0); topology (d) additionally forbids the cross routing port 0 <-
+        // bank 1.
+        let cfg = cfg();
+        let pe = PeId::new(0, 1, 0);
+        let mut e = ExecInstr::idle(&cfg);
+        e.pe_ops[pe.flat_index(&cfg) as usize] = PeOpcode::Add;
+        e.reads[0] = Some(PortRead {
+            bank: 0,
+            addr: 0,
+            valid_rst: false,
+        });
+        e.reads[1] = Some(PortRead {
+            bank: 1,
+            addr: 0,
+            valid_rst: true,
+        });
+        e.writes[1] = Some(pe);
+        let p = Program::new(
+            cfg,
+            vec![
+                Instr::Load {
+                    row: 0,
+                    mask: vec![true, true, false, false, false, false, false, false],
+                },
+                Instr::Exec(e),
+                // Wait out the D-cycle writeback latency before reading.
+                Instr::Nop,
+                Instr::Nop,
+                Instr::StoreK {
+                    row: 1,
+                    reads: vec![read(0, 0, true), read(1, 0, true)],
+                },
+            ],
+        )
+        .unwrap();
+        let rep =
+            verify_program(&p, &layout_of(&[(0, 0), (0, 1)], &[(1, 0), (1, 1)], 2, 2)).unwrap();
+        assert_eq!(rep.facts.topology_mask & 0b0011, 0b0011, "admits (a), (b)");
+        assert_eq!(rep.facts.topology_mask & 0b1100, 0, "rejects (c), (d)");
+        for (i, t) in Topology::all().into_iter().enumerate() {
+            let alt = ArchConfig::with_topology(2, 8, 16, t).unwrap();
+            assert_eq!(
+                rep.facts.admits(&alt),
+                rep.facts.topology_mask & (1 << i) != 0,
+                "{t}"
+            );
+        }
+    }
+
+    #[test]
+    fn steal_compatibility_ignores_only_data_mem_rows() {
+        let a = ArchConfig::new(3, 64, 32).unwrap();
+        let mut b = a;
+        b.data_mem_rows *= 2;
+        assert!(steal_compatible(&a, &b));
+        let mut c = a;
+        c.regs_per_bank = 64;
+        assert!(!steal_compatible(&a, &c));
+        let mut d = a;
+        d.topology = Topology::CrossbarBoth;
+        assert!(!steal_compatible(&a, &d));
+        assert!(!steal_compatible(&a, &ArchConfig::new(2, 64, 32).unwrap()));
+        assert!(!steal_compatible(&a, &ArchConfig::new(3, 32, 32).unwrap()));
+    }
+}

@@ -1,0 +1,83 @@
+//! Source-level lint enforcing two architectural invariants that the
+//! type system cannot: the simulator stays deterministic (no wall-clock
+//! reads), and the runtime's backpressure story stays intact (exactly
+//! one deliberately unbounded channel, behind the admission gate).
+//!
+//! Plain text scanning is crude but cheap, runs in the ordinary test
+//! suite, and fails with the offending file + line so violations are
+//! one glance to fix.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).expect("crate source dir exists") {
+            let path = entry.expect("readable dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lines matching `pattern` in any `.rs` file under `dir`, excluding
+/// files whose name is in `exempt`, formatted as `path:line: text`.
+fn offenders(dir: &Path, pattern: &str, exempt: &[&str]) -> Vec<String> {
+    let mut hits = Vec::new();
+    for path in rust_sources(dir) {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if exempt.contains(&name) {
+            continue;
+        }
+        let text = fs::read_to_string(&path).expect("source file is UTF-8");
+        for (idx, line) in text.lines().enumerate() {
+            if line.contains(pattern) {
+                hits.push(format!("{}:{}: {}", path.display(), idx + 1, line.trim()));
+            }
+        }
+    }
+    hits
+}
+
+fn repo_root() -> PathBuf {
+    // This test lives in the workspace root package.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn sim_never_reads_the_wall_clock() {
+    // The simulator is a cycle-accurate model: its notion of time is the
+    // cycle counter, and identical inputs must give identical traces.
+    // Wall-clock latency measurement belongs to the runtime layer.
+    let hits = offenders(&repo_root().join("crates/sim/src"), "Instant::now", &[]);
+    assert!(
+        hits.is_empty(),
+        "dpu-sim must not read wall-clock time:\n{}",
+        hits.join("\n")
+    );
+}
+
+#[test]
+fn runtime_builds_no_unbounded_channels_outside_the_ingest_gate() {
+    // Every queue in dpu-runtime is bounded so overload sheds at the
+    // admission gate instead of accumulating memory. The one sanctioned
+    // unbounded channel is `ingest::job_channel`, which sits *behind*
+    // the gate and is capped by the admission limits themselves.
+    let hits = offenders(
+        &repo_root().join("crates/runtime/src"),
+        "channel::unbounded",
+        &["ingest.rs"],
+    );
+    assert!(
+        hits.is_empty(),
+        "dpu-runtime must not construct unbounded channels outside ingest.rs:\n{}",
+        hits.join("\n")
+    );
+}
