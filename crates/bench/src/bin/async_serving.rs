@@ -1,8 +1,8 @@
 //! Async sharded serving benchmark — the continuous-ingestion counterpart
 //! of `serving_throughput`, and the source of CI's `BENCH_serving.json`.
 //!
-//! Six phases, the first five over the same 600-request, 3-family mixed
-//! stream:
+//! Seven phases, all but the microbenches over the same 600-request,
+//! 3-family mixed stream:
 //!
 //! 1. **Gated phase** (deterministic): a 4-shard dispatcher with work
 //!    stealing off and an effectively infinite latency budget serves the
@@ -41,7 +41,17 @@
 //!    a fresh `Machine` per request (the old allocating hot path) vs one
 //!    reused machine (`Machine::reset` + per-machine scratch buffers) —
 //!    the before/after of the simulator hot-path optimization.
-//! 5. **Cache persistence** (deterministic, gated): a cold engine over an
+//! 5. **Decoded execution** (gated): the same compiled program decoded
+//!    once into its flat micro-op form and run over the phase-4 inputs on
+//!    one reused machine — the interpreted-vs-decoded single-machine
+//!    speedup (a same-machine timing ratio; `bench_gate` ratchets it and
+//!    enforces a hard ≥2× floor). The gated stream is then re-served in
+//!    fixed-size rounds through `Engine::execute_round`, which groups
+//!    each round by program so one decoded form serves every request of a
+//!    family — outputs byte-identical to the serial reference, the
+//!    grouping ratio (jobs per program group, a pure function of the
+//!    stream) gated, and the repeat-program throughput recorded.
+//! 6. **Cache persistence** (deterministic, gated): a cold engine over an
 //!    empty spill directory serves the stream (compiling and spilling
 //!    each family once), then a **restarted** engine over the same
 //!    directory serves it again — the `cache_persist` section records the
@@ -49,7 +59,7 @@
 //!    and the peer pre-warm count (`Engine::prewarm` loading every
 //!    program before traffic). Warm results are verified byte-identical
 //!    to the cold ones and to the serial reference.
-//! 6. **Graceful degradation** (gated): a priority-annotated stream at
+//! 7. **Graceful degradation** (gated): a priority-annotated stream at
 //!    2× the saturation rate hits a dispatcher with bounded admission
 //!    (`queue_capacity`) and 40 ms deadlines on `Interactive` traffic.
 //!    The `graceful_degradation` section reports per-class accepted /
@@ -531,7 +541,75 @@ fn main() {
     }
     let reused_seconds = t1.elapsed().as_secs_f64();
 
-    // Phase 5: cache persistence. Cold engine over an empty spill dir
+    // Phase 5: decoded execution. Decode the phase-4 program once into
+    // its flat micro-op form and run the same inputs on the same reused
+    // machine: the interpreted-vs-decoded single-machine speedup. The
+    // timing loop is followed by an untimed verification pass asserting
+    // every decoded result byte-identical to the interpreter's.
+    let decoded = sim::DecodedProgram::decode(&compiled.program).expect("decodes");
+    let t2 = Instant::now();
+    for inputs in &scratch_inputs {
+        let run = sim::run_decoded_on(&mut machine, &compiled, &decoded, inputs).expect("runs");
+        std::hint::black_box(run);
+    }
+    let decoded_seconds = t2.elapsed().as_secs_f64();
+    for (i, inputs) in scratch_inputs.iter().enumerate() {
+        let want = sim::run_on(&mut machine, &compiled, inputs).expect("runs");
+        let got = sim::run_decoded_on(&mut machine, &compiled, &decoded, inputs).expect("runs");
+        assert_identical(&got, &want, &format!("decoded run {i}"));
+        assert_eq!(got.activity, want.activity, "decoded run {i}: activity");
+    }
+    let single_machine_speedup = reused_seconds / decoded_seconds.max(1e-9);
+
+    // One-program/many-inputs round execution: re-serve the gated stream
+    // in fixed-size rounds through `Engine::execute_round`, which groups
+    // each round by program so every request of a family runs off one
+    // shared decoded form. The grouping ratio (jobs per program group) is
+    // a pure function of the stream; outputs are verified byte-identical
+    // to the serial reference as they are produced.
+    let round_engine = dpu.engine(EngineOptions::default());
+    let round_keys: Vec<DagKey> = fams
+        .iter()
+        .map(|f| round_engine.register(f.dag.clone()))
+        .collect();
+    let round_stream: Vec<Request> = (0..REQUESTS)
+        .map(|i| build_request(&round_keys, i))
+        .collect();
+    let round_batch = 32usize;
+    let mut round_machine = sim::Machine::new(*ref_engine.config());
+    let (mut round_jobs, mut round_groups, mut verified_rounds) = (0usize, 0usize, 0usize);
+    let t3 = Instant::now();
+    for (chunk_no, chunk) in round_stream.chunks(round_batch).enumerate() {
+        let mut programs: Vec<DagKey> = Vec::new();
+        for r in chunk {
+            if !programs.contains(&r.dag) {
+                programs.push(r.dag);
+            }
+        }
+        round_jobs += chunk.len();
+        round_groups += programs.len();
+        let refs: Vec<&Request> = chunk.iter().collect();
+        for (j, outcome) in round_engine
+            .execute_round(&mut round_machine, &refs)
+            .into_iter()
+            .enumerate()
+        {
+            let i = chunk_no * round_batch + j;
+            let got = outcome.expect("request succeeds");
+            assert_identical(&got, &reference.results[i], &format!("round request {i}"));
+        }
+        verified_rounds += 1;
+    }
+    let round_seconds = t3.elapsed().as_secs_f64();
+    let round_grouping_ratio = round_jobs as f64 / round_groups.max(1) as f64;
+    let decode_count = round_engine.cache_stats().decode_count;
+    assert_eq!(
+        decode_count,
+        fams.len() as u64,
+        "one decode per family, shared across {verified_rounds} rounds"
+    );
+
+    // Phase 6: cache persistence. Cold engine over an empty spill dir
     // (compiles once per family, spills each program), then a restarted
     // engine over the same dir (must serve with zero compiles), then a
     // peer shard pre-warming every program before traffic. All outputs
@@ -579,7 +657,7 @@ fn main() {
     let peer_stats = peer_engine.cache_stats();
     assert_eq!(peer_stats.misses, 0, "a pre-warmed shard must not compile");
 
-    // Phase 6: graceful degradation under overload (gated). The
+    // Phase 7: graceful degradation under overload (gated). The
     // dispatcher is driven at 2× the saturation rate established by the
     // PR-5 queueing data (at ~3000 rps mean queueing delay reaches tens
     // of milliseconds against sub-millisecond service), with bounded
@@ -836,6 +914,29 @@ fn main() {
                 .field("fresh_machine_seconds", fresh_seconds)
                 .field("reused_machine_seconds", reused_seconds)
                 .field("reuse_speedup", fresh_seconds / reused_seconds.max(1e-9)),
+        )
+        // Decoded execution: the single-machine speedup is a same-machine
+        // timing ratio (gated with a hard ≥2x floor plus a ratchet); the
+        // grouping ratio is a pure function of the stream and the decode
+        // count a pure function of the family set (both bit-stable).
+        // `repeat_program_rps` is host wall-clock, recorded only.
+        .field(
+            "decoded_exec",
+            Json::obj()
+                .field("runs", scratch_inputs.len())
+                .field("interpreted_seconds", reused_seconds)
+                .field("decoded_seconds", decoded_seconds)
+                .field("single_machine_speedup", single_machine_speedup)
+                .field("round_requests", REQUESTS)
+                .field("round_max_batch", round_batch)
+                .field("rounds", verified_rounds)
+                .field("round_grouping_ratio", round_grouping_ratio)
+                .field(
+                    "repeat_program_rps",
+                    REQUESTS as f64 / round_seconds.max(1e-9),
+                )
+                .field("decode_count", decode_count)
+                .field("verified", true),
         );
     emit(&report, json_path.as_deref());
 }

@@ -34,6 +34,13 @@
 //!   (the same hardening the cache miss-rate gate applies to hit rates).
 //!   Host-time latency (the open-loop section) varies by machine and is
 //!   recorded, not gated.
+//! - The decoded-execution phase (`decoded_exec`) is gated two ways:
+//!   `single_machine_speedup` — interpreted vs decoded seconds on the
+//!   same machine, a timing *ratio* so it survives machine changes —
+//!   must clear a hard 2.0× floor (the decoded pipeline's reason to
+//!   exist) and additionally ratchets at a widened tolerance;
+//!   `round_grouping_ratio` (jobs per program group per round) is a pure
+//!   function of the stream and ratchets at the normal tolerance.
 //! - The overload phase (`graceful_degradation`, 2× saturation with a
 //!   priority mix) is gated on **honesty and goodput**, not raw counts:
 //!   the admission ledger must balance exactly (per class and in total,
@@ -322,6 +329,57 @@ fn run() -> Result<(), String> {
                 })?;
             failed |= gate_higher_better(&format!("baseline_compare.{name}.gops"), c, b, tol);
         }
+    }
+
+    // Decoded execution: the pre-decoded pipeline must keep paying for
+    // itself. `single_machine_speedup` is a same-machine timing *ratio*
+    // (interpreted seconds / decoded seconds) — noisier than the
+    // deterministic counters, so it ratchets at a widened tolerance, and
+    // independently of the baseline must clear a hard 2.0x floor: the
+    // decoded path's reason to exist is that repeat-program execution is
+    // at least twice as fast as interpreting. `round_grouping_ratio`
+    // (jobs per program group per round) is a pure function of the
+    // stream and ratchets at the normal tolerance; a collapse to 1.0
+    // would mean round grouping silently stopped sharing decoded forms.
+    if let Some(base_dec) = baseline.get("decoded_exec") {
+        let cur_dec = current.get("decoded_exec").ok_or_else(|| {
+            format!(
+                "{}: decoded_exec section missing (baseline has it)",
+                args.current
+            )
+        })?;
+        if cur_dec.get("verified").and_then(Json::as_bool) != Some(true) {
+            return Err(format!(
+                "{}: decoded_exec.verified is not true",
+                args.current
+            ));
+        }
+        let speedup = num(cur_dec, "single_machine_speedup", &args.current)?;
+        const SPEEDUP_FLOOR: f64 = 2.0;
+        if speedup < SPEEDUP_FLOOR {
+            println!(
+                "bench-gate: decoded_exec.single_machine_speedup: current {speedup:.4} \
+                 vs floor {SPEEDUP_FLOOR:.1} FAIL (below the decoded-pipeline floor)"
+            );
+            failed = true;
+        } else {
+            println!(
+                "bench-gate: decoded_exec.single_machine_speedup: current {speedup:.4} \
+                 vs floor {SPEEDUP_FLOOR:.1} pass"
+            );
+        }
+        failed |= gate_higher_better(
+            "decoded_exec.single_machine_speedup",
+            speedup,
+            num(base_dec, "single_machine_speedup", &args.baseline)?,
+            tol.max(0.25),
+        );
+        failed |= gate_higher_better(
+            "decoded_exec.round_grouping_ratio",
+            num(cur_dec, "round_grouping_ratio", &args.current)?,
+            num(base_dec, "round_grouping_ratio", &args.baseline)?,
+            tol,
+        );
     }
 
     // Overload behavior: the graceful-degradation phase is gated on

@@ -115,6 +115,30 @@ pub trait Backend: Send + Sync {
     /// See [`ServeError`].
     fn execute(&self, scratch: &mut Scratch, request: &Request) -> Result<RunResult, ServeError>;
 
+    /// Executes one dispatcher round's worth of requests, returning one
+    /// outcome per request in request order. The default loops
+    /// [`Backend::execute`], so simple backends need nothing extra;
+    /// backends with per-program setup cost may override it to amortize
+    /// that cost across the round's repeat-program requests ([`Engine`]
+    /// runs one pre-decoded program over all of a group's input sets).
+    ///
+    /// Overrides must preserve per-request semantics exactly: outcome
+    /// `i` must be byte-identical to what `execute` would return for
+    /// request `i` alone, including which requests fail — the purity
+    /// contract above applies to the round as a whole. Admission control
+    /// still happens in the dispatcher: a round reaching this seam
+    /// contains only jobs that passed the deadline gate.
+    fn execute_round(
+        &self,
+        scratch: &mut Scratch,
+        requests: &[&Request],
+    ) -> Vec<Result<RunResult, ServeError>> {
+        requests
+            .iter()
+            .map(|request| self.execute(scratch, request))
+            .collect()
+    }
+
     /// Modelled cycles one closed round costs on this platform, given
     /// each member's per-request cycles and the dispatcher's modelled
     /// core count. Simulated DPU shards pack the round onto `cores`
@@ -167,6 +191,17 @@ impl Backend for Engine {
             .downcast_mut::<Machine>()
             .expect("engine scratch is a Machine");
         Engine::execute(self, machine, request)
+    }
+
+    fn execute_round(
+        &self,
+        scratch: &mut Scratch,
+        requests: &[&Request],
+    ) -> Vec<Result<RunResult, ServeError>> {
+        let machine = scratch
+            .downcast_mut::<Machine>()
+            .expect("engine scratch is a Machine");
+        Engine::execute_round(self, machine, requests)
     }
 
     fn round_cycles(&self, costs: &[u64], cores: usize) -> u64 {

@@ -40,6 +40,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use dpu_compiler::{compile, CompileError, CompileOptions, Compiled};
 use dpu_dag::Dag;
 use dpu_isa::{ArchConfig, Topology};
+use dpu_sim::{DecodedProgram, SimError};
 use serde::{Deserialize, Serialize};
 
 use crate::DagKey;
@@ -92,6 +93,12 @@ pub struct CacheStats {
     /// checksum-alone trust gap. Also counted in
     /// [`CacheStats::spill_rejects`].
     pub spill_unverifiable: u64,
+    /// Pre-decoded execution forms built ([`ProgramCache::get_decoded`])
+    /// — at most one per resident entry that was ever executed through
+    /// the decoded path. The decoded form is derived state: it is never
+    /// spilled, so a warm restart rebuilds it (counted again here) from
+    /// the verified compiled program.
+    pub decode_count: u64,
 }
 
 impl CacheStats {
@@ -428,6 +435,14 @@ impl SpillStore {
 /// lookups of a hot program never serialize.
 struct Slot {
     compiled: RwLock<Option<Arc<Compiled>>>,
+    /// The pre-decoded execution form, attached lazily on the first
+    /// decoded execution ([`ProgramCache::get_decoded`]) and shared
+    /// across every shard and worker from then on. Derived state only:
+    /// it is rebuilt from `compiled`, never spilled — the spill layer
+    /// persists exactly the verified compiled program, so a warm restart
+    /// re-decodes on first execute instead of trusting a second on-disk
+    /// representation.
+    decoded: RwLock<Option<Arc<DecodedProgram>>>,
     /// Held only while compiling; keeps the compile-once guarantee
     /// without write-locking `compiled` for the compile's duration.
     compile_lock: Mutex<()>,
@@ -450,6 +465,7 @@ pub struct ProgramCache {
     spill_rejects: AtomicU64,
     spill_verified: AtomicU64,
     spill_unverifiable: AtomicU64,
+    decode_count: AtomicU64,
     /// Reason of the most recent spill rejection, for diagnostics
     /// ([`ProgramCache::last_spill_reject`]).
     last_reject: Mutex<Option<String>>,
@@ -509,6 +525,7 @@ impl ProgramCache {
             spill_rejects: AtomicU64::new(0),
             spill_verified: AtomicU64::new(0),
             spill_unverifiable: AtomicU64::new(0),
+            decode_count: AtomicU64::new(0),
             last_reject: Mutex::new(None),
         }
     }
@@ -616,6 +633,55 @@ impl ProgramCache {
         Ok(compiled)
     }
 
+    /// Returns the pre-decoded execution form for `key`, building it from
+    /// `compiled` on first use and sharing the same `Arc<DecodedProgram>`
+    /// with every shard and worker thereafter. `compiled` must be the
+    /// program [`ProgramCache::get_or_compile`] returned for the same
+    /// key (the engine keeps this association).
+    ///
+    /// The decoded form is never spilled: after a warm restart the slot
+    /// is back-filled from disk with only the verified compiled program,
+    /// and the first decoded execution rebuilds the derived form here
+    /// (visible as [`CacheStats::decode_count`] climbing again).
+    ///
+    /// # Errors
+    ///
+    /// Forwards [`SimError`] from [`DecodedProgram::decode`] — possible
+    /// only for a corrupt program, which static spill verification
+    /// already screens for. Failed decodes are not cached; a later call
+    /// retries.
+    pub fn get_decoded(
+        &self,
+        key: CacheKey,
+        compiled: &Compiled,
+    ) -> Result<Arc<DecodedProgram>, SimError> {
+        let slot = self.slot(key);
+        // Fast path: a read lock only, as for compiled lookups.
+        if let Some(decoded) = slot.decoded.read().expect("cache slot poisoned").as_ref() {
+            return Ok(Arc::clone(decoded));
+        }
+        // Decode-once discipline, reusing the slot's compile lock: the
+        // first thread through decodes, racers block and then read.
+        let _decoding = slot.compile_lock.lock().expect("compile lock poisoned");
+        if let Some(decoded) = slot.decoded.read().expect("cache slot poisoned").as_ref() {
+            return Ok(Arc::clone(decoded));
+        }
+        let decoded = Arc::new(DecodedProgram::decode(&compiled.program)?);
+        self.decode_count.fetch_add(1, Ordering::Relaxed);
+        *slot.decoded.write().expect("cache slot poisoned") = Some(Arc::clone(&decoded));
+        Ok(decoded)
+    }
+
+    /// Credits `extra` additional cache hits to the stats. Round-grouped
+    /// execution consults the cache once per program *group* and then
+    /// serves every request of the group from the same `Arc` — each of
+    /// those requests was still served from cache, so the grouping
+    /// optimization must not deflate the per-request hit accounting that
+    /// [`CacheStats::hit_rate`] (and its CI gate) is defined over.
+    pub fn note_round_reuse(&self, extra: u64) {
+        self.hits.fetch_add(extra, Ordering::Relaxed);
+    }
+
     /// Back-fills the in-memory cache from the spill store: every spilled
     /// program for `config` (up to the capacity bound) is loaded without
     /// waiting for a request to miss on it. Returns the number of
@@ -712,6 +778,7 @@ impl ProgramCache {
         }
         let slot = Arc::new(Slot {
             compiled: RwLock::new(None),
+            decoded: RwLock::new(None),
             compile_lock: Mutex::new(()),
             // Seed recency from `fetch_add`, not `load`: a plain load
             // would make back-to-back creations tie at the same
@@ -747,6 +814,7 @@ impl ProgramCache {
             spill_rejects: self.spill_rejects.load(Ordering::Relaxed),
             spill_verified: self.spill_verified.load(Ordering::Relaxed),
             spill_unverifiable: self.spill_unverifiable.load(Ordering::Relaxed),
+            decode_count: self.decode_count.load(Ordering::Relaxed),
         }
     }
 }
@@ -780,6 +848,26 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decoded_form_attaches_once_and_is_shared() {
+        let cache = ProgramCache::new(CompileOptions::default());
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let d = dag(3);
+        let k = dag_fingerprint(&d);
+        let compiled = cache.get_or_compile(&d, k, &cfg).unwrap();
+        let key = CacheKey {
+            dag: k,
+            config: cfg,
+        };
+        let a = cache.get_decoded(key, &compiled).unwrap();
+        let b = cache.get_decoded(key, &compiled).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "decoded form is decoded once");
+        assert_eq!(cache.stats().decode_count, 1);
+        // Compiled lookups are unaffected by the attached decoded form.
+        let again = cache.get_or_compile(&d, k, &cfg).unwrap();
+        assert!(Arc::ptr_eq(&compiled, &again));
     }
 
     #[test]

@@ -571,6 +571,7 @@ impl DispatchReport {
             total.spill_rejects += s.cache.spill_rejects;
             total.spill_verified += s.cache.spill_verified;
             total.spill_unverifiable += s.cache.spill_unverifiable;
+            total.decode_count += s.cache.decode_count;
         }
         total
     }
@@ -1300,16 +1301,18 @@ fn shard_loop(
         }
         my.rounds.fetch_add(1, Ordering::Relaxed);
         costs.clear();
-        let mut executed: u64 = 0;
         // The latency lock is uncontended here: only this shard's worker
         // writes it, and shutdown reads it after joining every worker.
         let mut latency = my.latency.lock().expect("latency poisoned");
-        for job in &mut round.jobs {
+        // Pass 1 — admission: stamp each job's own execute-start and run
+        // the last-chance deadline check (primary copies only — a mirror
+        // job's deadline stamp is always 0): if the deadline passed in
+        // queue, or the remaining service estimate no longer fits it,
+        // shed instead of executing. Shed jobs are fully resolved here
+        // and never reach the backend seam.
+        let mut exec_idx: Vec<usize> = Vec::with_capacity(round.jobs.len());
+        for (i, job) in round.jobs.iter_mut().enumerate() {
             job.timeline.execute_start_ns = clock.now_ns();
-            // Last-chance deadline check (primary copies only — a mirror
-            // job's deadline stamp is always 0): if the deadline passed
-            // in queue, or the remaining service estimate no longer fits
-            // it, shed instead of executing.
             if job.timeline.deadline_ns != 0 {
                 let now_ns = job.timeline.execute_start_ns;
                 if now_ns.saturating_add(admission.service_estimate()) > job.timeline.deadline_ns {
@@ -1327,8 +1330,21 @@ fn shard_loop(
                     continue;
                 }
             }
-            let result = my.backend.execute(&mut scratch, &job.request);
-            executed += 1;
+            exec_idx.push(i);
+        }
+        // Pass 2 — execute the survivors as one round through the seam:
+        // backends with per-program setup cost amortize it across the
+        // round's repeat-program jobs ([`Backend::execute_round`]), and a
+        // stolen round flows through identically to a home round.
+        let requests: Vec<&Request> = exec_idx.iter().map(|&i| &round.jobs[i].request).collect();
+        let outcomes = my.backend.execute_round(&mut scratch, &requests);
+        drop(requests);
+        let executed = exec_idx.len() as u64;
+        // Pass 3 — per-job accounting in request order: each job keeps
+        // its own completion stamp, service cycles, latency record and
+        // ticket outcome, exactly as when jobs executed one by one.
+        for (i, result) in exec_idx.into_iter().zip(outcomes) {
+            let job = &mut round.jobs[i];
             if let Ok(res) = &result {
                 costs.push(res.cycles);
                 my.dag_ops.fetch_add(res.dag_ops, Ordering::Relaxed);

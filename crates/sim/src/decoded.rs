@@ -1,0 +1,597 @@
+//! Pre-decoded execution: flat micro-op programs for the serving hot
+//! path.
+//!
+//! [`Machine::step`] re-interprets the [`Instr`] enum on every cycle of
+//! every request: it walks heap `Vec`s inside the instruction for operand
+//! fetch, re-derives each PE's operand wiring from `(tree, layer, index)`
+//! arithmetic, scans every PE slot (including the idle ones) and
+//! re-decides broadcast dedup per `exec`. None of that depends on the
+//! input data — it is a pure function of the program — so a cached
+//! program can pay it **once**.
+//!
+//! [`DecodedProgram::decode`] lowers a [`Program`] into arena-backed
+//! structure-of-arrays micro-op tables:
+//!
+//! - one `(kind, row, span)` record per instruction (the program counter
+//!   indexes these arrays directly);
+//! - flat operand arenas per instruction kind (`Load` bank lists, unified
+//!   `Store`/`StoreK` word moves, `CopyK` moves, and for `exec` the port
+//!   reads, valid-bit resets, active PEs and writebacks);
+//! - every `exec` operand pre-resolved to an index into one flat value
+//!   array (ports first, then PE outputs layer by layer), with broadcast
+//!   dedup decided at decode time (`ReadOp::copy_from` names the port
+//!   that already fetched the bank) and idle PEs simply absent;
+//! - static program properties (`load`/`store` bounds, writebacks that
+//!   would latch an idle PE) checked once at decode instead of per cycle.
+//!
+//! [`Machine::run_decoded`] then drives the tables by program counter
+//! with **zero per-cycle allocation** (lint-enforced by
+//! `tests/forbidden_patterns.rs`), producing outputs, cycle counts and
+//! [`Activity`](crate::Activity) counters byte-identical to
+//! [`Machine::run_program`] / [`Machine::run_packed`] on the same
+//! program. The decoded form is derived state: it is never persisted
+//! (the spill layer stores only the verified [`Compiled`]
+//! representation) and is rebuilt from the compiled program wherever it
+//! is needed.
+
+use dpu_compiler::Compiled;
+use dpu_isa::{encode, ArchConfig, Instr, PeOpcode, Program};
+
+use crate::{Machine, RunResult, SimError};
+
+/// Sentinel index: "no source" (an undriven operand evaluates as NaN,
+/// exactly like the interpreter's `unwrap_or(f32::NAN)`), or for
+/// [`ReadOp::copy_from`] "fetch from the register file".
+const NONE: u32 = u32::MAX;
+
+/// Micro-op kind, one per source instruction. `Store` and `StoreK` lower
+/// to the same micro-op (both are "read registers, write data-memory
+/// words"); only their arena payloads differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Nop,
+    Load,
+    Store,
+    CopyK,
+    Exec,
+}
+
+/// Half-open index range into one of the arenas.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    start: u32,
+    end: u32,
+}
+
+impl Span {
+    fn new(start: usize, end: usize) -> Span {
+        Span {
+            start: start as u32,
+            end: end as u32,
+        }
+    }
+
+    fn range(self) -> std::ops::Range<usize> {
+        self.start as usize..self.end as usize
+    }
+}
+
+/// One `Store`/`StoreK` word move: read `(bank, addr)`, write data-memory
+/// column `col` of the instruction's row.
+#[derive(Debug, Clone, Copy)]
+struct StoreOp {
+    col: u32,
+    bank: u32,
+    addr: u32,
+    valid_rst: bool,
+}
+
+/// One `CopyK` move through the crossbar.
+#[derive(Debug, Clone, Copy)]
+struct CopyOp {
+    bank: u32,
+    addr: u32,
+    valid_rst: bool,
+    dst_bank: u32,
+}
+
+/// One driven crossbar port of an `exec`. `copy_from == NONE` fetches
+/// `(bank, addr)` from the register file (counting one register read);
+/// otherwise the port broadcasts the value port `copy_from` already
+/// fetched this cycle — the dedup decision the interpreter makes with a
+/// per-`exec` linear scan, made once here.
+#[derive(Debug, Clone, Copy)]
+struct ReadOp {
+    /// Value-array index this port drives (ports occupy `0..banks`).
+    dst: u32,
+    bank: u32,
+    addr: u32,
+    copy_from: u32,
+}
+
+/// A last-read valid-bit reset, applied after all reads of the cycle.
+#[derive(Debug, Clone, Copy)]
+struct RstOp {
+    bank: u32,
+    addr: u32,
+}
+
+/// One *active* PE evaluation (idle PEs are not represented at all).
+/// `a`/`b` are pre-resolved value-array indices (`NONE` = undriven =
+/// NaN); `dst` is the PE's own slot in the value array.
+#[derive(Debug, Clone, Copy)]
+struct PeOp {
+    a: u32,
+    b: u32,
+    dst: u32,
+    op: PeOpcode,
+}
+
+/// One `exec` writeback: bank `bank` latches value-array slot `src` at
+/// the end of cycle `issue + depth`.
+#[derive(Debug, Clone, Copy)]
+struct WriteOp {
+    bank: u32,
+    src: u32,
+}
+
+/// Arena spans of one `exec` instruction.
+#[derive(Debug, Clone, Copy)]
+struct ExecOp {
+    reads: Span,
+    rsts: Span,
+    pes: Span,
+    writes: Span,
+}
+
+/// A [`Program`] lowered to flat micro-op arrays — decode once, execute
+/// many. Build with [`DecodedProgram::decode`], run with
+/// [`Machine::run_decoded`] (or [`crate::run_decoded_on`] for the full
+/// stage-inputs/read-outputs round trip). See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    config: ArchConfig,
+    /// Fetch width `IL` in bits, pre-computed (per-cycle fetch
+    /// accounting matches the interpreted and packed paths).
+    fetch_bits: u64,
+    /// Pipeline depth `D`: an `exec` issued at cycle `c` lands its
+    /// writebacks at the end of cycle `c + land_offset`.
+    land_offset: u64,
+    /// Length of the per-`exec` value array: `banks` port slots followed
+    /// by one slot per PE, layer by layer.
+    vals_len: usize,
+    // One record per instruction (indexed by program counter):
+    kind: Vec<OpKind>,
+    row: Vec<u32>,
+    span: Vec<Span>,
+    // Arenas:
+    load_banks: Vec<u32>,
+    stores: Vec<StoreOp>,
+    copies: Vec<CopyOp>,
+    execs: Vec<ExecOp>,
+    reads: Vec<ReadOp>,
+    rsts: Vec<RstOp>,
+    pes: Vec<PeOp>,
+    writes: Vec<WriteOp>,
+}
+
+impl DecodedProgram {
+    /// Lowers `program` into flat micro-op arrays.
+    ///
+    /// Static program properties the interpreter checks per cycle are
+    /// checked here once instead: a `load`/`store` row outside the data
+    /// memory ([`SimError::RowOutOfRange`]) and an `exec` writeback
+    /// selecting an idle PE ([`SimError::IdlePeWriteback`]) reject the
+    /// program at decode time. State-dependent hazards (empty-register
+    /// reads, write-port clashes, bank overflow) remain runtime checks
+    /// in [`Machine::run_decoded`], exactly as interpreted.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RowOutOfRange`] or [`SimError::IdlePeWriteback`] as
+    /// above — both indicate a compiler bug or a corrupt program.
+    pub fn decode(program: &Program) -> Result<DecodedProgram, SimError> {
+        let cfg = program.config;
+        // Value-array layout: ports `0..banks`, then each layer's PE
+        // outputs; `layer_base[l - 1]` is layer `l`'s first slot.
+        let mut layer_base = Vec::with_capacity(cfg.depth as usize);
+        let mut next = cfg.banks;
+        for l in 1..=cfg.depth {
+            layer_base.push(next);
+            next += cfg.trees() * cfg.pes_in_layer(l);
+        }
+        let vals_len = next as usize;
+        let slot_of = |tree: u32, layer: u32, index: u32| {
+            layer_base[(layer - 1) as usize] + tree * cfg.pes_in_layer(layer) + index
+        };
+
+        let mut d = DecodedProgram {
+            config: cfg,
+            fetch_bits: u64::from(encode::fetch_width(&cfg)),
+            land_offset: u64::from(cfg.depth),
+            vals_len,
+            kind: Vec::with_capacity(program.instrs.len()),
+            row: Vec::with_capacity(program.instrs.len()),
+            span: Vec::with_capacity(program.instrs.len()),
+            load_banks: Vec::new(),
+            stores: Vec::new(),
+            copies: Vec::new(),
+            execs: Vec::new(),
+            reads: Vec::new(),
+            rsts: Vec::new(),
+            pes: Vec::new(),
+            writes: Vec::new(),
+        };
+        // Which value-array slots the current `exec` defines (driven
+        // ports + active PEs) — operands resolving to an undefined slot
+        // become NaN, writebacks from one are a decode error.
+        let mut defined = vec![false; vals_len];
+
+        for instr in &program.instrs {
+            let (kind, row, span) = match instr {
+                Instr::Nop => (OpKind::Nop, 0, Span::new(0, 0)),
+                Instr::Load { row, mask } => {
+                    if *row >= cfg.data_mem_rows {
+                        return Err(SimError::RowOutOfRange { row: *row });
+                    }
+                    let start = d.load_banks.len();
+                    for (bank, &m) in mask.iter().enumerate() {
+                        if m {
+                            d.load_banks.push(bank as u32);
+                        }
+                    }
+                    (OpKind::Load, *row, Span::new(start, d.load_banks.len()))
+                }
+                Instr::Store { row, reads } => {
+                    if *row >= cfg.data_mem_rows {
+                        return Err(SimError::RowOutOfRange { row: *row });
+                    }
+                    let start = d.stores.len();
+                    for (col, r) in reads.iter().enumerate() {
+                        if let Some(r) = r {
+                            d.stores.push(StoreOp {
+                                col: col as u32,
+                                bank: r.bank,
+                                addr: r.addr,
+                                valid_rst: r.valid_rst,
+                            });
+                        }
+                    }
+                    (OpKind::Store, *row, Span::new(start, d.stores.len()))
+                }
+                Instr::StoreK { row, reads } => {
+                    if *row >= cfg.data_mem_rows {
+                        return Err(SimError::RowOutOfRange { row: *row });
+                    }
+                    let start = d.stores.len();
+                    for r in reads {
+                        // A `store.k` word lands at the column of its
+                        // source bank.
+                        d.stores.push(StoreOp {
+                            col: r.bank,
+                            bank: r.bank,
+                            addr: r.addr,
+                            valid_rst: r.valid_rst,
+                        });
+                    }
+                    (OpKind::Store, *row, Span::new(start, d.stores.len()))
+                }
+                Instr::CopyK { moves } => {
+                    let start = d.copies.len();
+                    for m in moves {
+                        d.copies.push(CopyOp {
+                            bank: m.src.bank,
+                            addr: m.src.addr,
+                            valid_rst: m.src.valid_rst,
+                            dst_bank: m.dst_bank,
+                        });
+                    }
+                    (OpKind::CopyK, 0, Span::new(start, d.copies.len()))
+                }
+                Instr::Exec(e) => {
+                    defined.fill(false);
+                    let reads_start = d.reads.len();
+                    // Broadcast dedup, decided once: the first port to
+                    // read a `(bank, addr)` fetches; later ports copy
+                    // its port slot. Same linear-scan relation the
+                    // interpreter applies per cycle.
+                    for (port, r) in e.reads.iter().enumerate() {
+                        let Some(r) = r else { continue };
+                        let copy_from = d.reads[reads_start..]
+                            .iter()
+                            .find(|f| f.copy_from == NONE && (f.bank, f.addr) == (r.bank, r.addr))
+                            .map_or(NONE, |f| f.dst);
+                        d.reads.push(ReadOp {
+                            dst: port as u32,
+                            bank: r.bank,
+                            addr: r.addr,
+                            copy_from,
+                        });
+                        defined[port] = true;
+                    }
+                    let rsts_start = d.rsts.len();
+                    for r in e.reads.iter().flatten() {
+                        if r.valid_rst {
+                            d.rsts.push(RstOp {
+                                bank: r.bank,
+                                addr: r.addr,
+                            });
+                        }
+                    }
+                    // Active PEs only, in the interpreter's evaluation
+                    // order, operands pre-resolved to value-array slots.
+                    let pes_start = d.pes.len();
+                    for l in 1..=cfg.depth {
+                        for t in 0..cfg.trees() {
+                            for i in 0..cfg.pes_in_layer(l) {
+                                let pe = dpu_isa::PeId::new(t, l, i);
+                                let op = e.pe_ops[pe.flat_index(&cfg) as usize];
+                                if op == PeOpcode::Nop {
+                                    continue;
+                                }
+                                let (a, b) = if l == 1 {
+                                    let base = t * cfg.ports_per_tree() + 2 * i;
+                                    (base, base + 1)
+                                } else {
+                                    let base = slot_of(t, l - 1, 2 * i);
+                                    (base, base + 1)
+                                };
+                                let dst = slot_of(t, l, i);
+                                d.pes.push(PeOp {
+                                    a: if defined[a as usize] { a } else { NONE },
+                                    b: if defined[b as usize] { b } else { NONE },
+                                    dst,
+                                    op,
+                                });
+                                defined[dst as usize] = true;
+                            }
+                        }
+                    }
+                    let writes_start = d.writes.len();
+                    for (bank, w) in e.writes.iter().enumerate() {
+                        let Some(pe) = w else { continue };
+                        let src = slot_of(pe.tree, pe.layer, pe.index);
+                        if !defined[src as usize] {
+                            return Err(SimError::IdlePeWriteback { bank: bank as u32 });
+                        }
+                        d.writes.push(WriteOp {
+                            bank: bank as u32,
+                            src,
+                        });
+                    }
+                    let start = d.execs.len();
+                    d.execs.push(ExecOp {
+                        reads: Span::new(reads_start, d.reads.len()),
+                        rsts: Span::new(rsts_start, d.rsts.len()),
+                        pes: Span::new(pes_start, d.pes.len()),
+                        writes: Span::new(writes_start, d.writes.len()),
+                    });
+                    (OpKind::Exec, 0, Span::new(start, start + 1))
+                }
+            };
+            d.kind.push(kind);
+            d.row.push(row);
+            d.span.push(span);
+        }
+        Ok(d)
+    }
+
+    /// The configuration the program was decoded for.
+    pub fn config(&self) -> &ArchConfig {
+        &self.config
+    }
+
+    /// Number of source instructions (= issue cycles before drain).
+    pub fn len(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.kind.is_empty()
+    }
+}
+
+impl Machine {
+    /// Runs a decoded program (plus pipeline drain) from the current
+    /// state — the pre-decoded equivalent of [`Machine::run_program`],
+    /// with outputs, cycle counts and activity counters byte-identical
+    /// to it on any program that passes decode.
+    ///
+    /// # Errors
+    ///
+    /// The state-dependent subset of [`SimError`] (empty-register reads,
+    /// write-port clashes, bank overflow); static errors were already
+    /// rejected by [`DecodedProgram::decode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's configuration differs from the one the
+    /// program was decoded for ([`crate::run_decoded_on`] re-builds the
+    /// machine instead of panicking).
+    pub fn run_decoded(&mut self, prog: &DecodedProgram) -> Result<(), SimError> {
+        assert_eq!(
+            self.cfg, prog.config,
+            "machine/program configuration mismatch"
+        );
+        let il = prog.fetch_bits;
+        let ring = self.pending.len() as u64;
+        // All buffers the loop needs, sized up front; early error
+        // returns leave them empty in scratch — harmless, a failed run
+        // aborts the request (same caveat as `Machine::step`).
+        let mut vals = std::mem::take(&mut self.scratch.vals);
+        vals.clear();
+        vals.resize(prog.vals_len, 0.0);
+        let mut imm = std::mem::take(&mut self.scratch.imm);
+        let mut staged = std::mem::take(&mut self.scratch.staged);
+        // BEGIN run_decoded cycle loop (zero-alloc: no allocating vector
+        // idioms in here — lint-enforced by tests/forbidden_patterns.rs)
+        for pc in 0..prog.kind.len() {
+            imm.clear();
+            let span = prog.span[pc];
+            match prog.kind[pc] {
+                OpKind::Nop => {}
+                OpKind::Load => {
+                    let row = prog.row[pc] as usize;
+                    self.activity.mem_reads += 1;
+                    let mut row_vals = std::mem::take(&mut self.scratch.row);
+                    row_vals.clear();
+                    row_vals.extend_from_slice(&self.data[row]);
+                    for &bank in &prog.load_banks[span.range()] {
+                        self.auto_write(bank, row_vals[bank as usize])?;
+                        imm.push(bank);
+                    }
+                    self.scratch.row = row_vals;
+                }
+                OpKind::Store => {
+                    let row = prog.row[pc];
+                    self.activity.mem_writes += 1;
+                    self.mark_dirty(row);
+                    for s in &prog.stores[span.range()] {
+                        let v = self.read_reg(s.bank, s.addr)?;
+                        self.activity.reg_reads += 1;
+                        if s.valid_rst {
+                            self.banks[s.bank as usize][s.addr as usize] = None;
+                        }
+                        self.data[row as usize][s.col as usize] = v;
+                    }
+                }
+                OpKind::CopyK => {
+                    // All reads happen before any write lands (crossbar
+                    // pass), staged in a reused buffer.
+                    staged.clear();
+                    for c in &prog.copies[span.range()] {
+                        let v = self.read_reg(c.bank, c.addr)?;
+                        self.activity.reg_reads += 1;
+                        self.activity.crossbar_hops += 1;
+                        if c.valid_rst {
+                            self.banks[c.bank as usize][c.addr as usize] = None;
+                        }
+                        staged.push((c.dst_bank, v));
+                    }
+                    for &(bank, v) in staged.iter() {
+                        self.auto_write(bank, v)?;
+                        imm.push(bank);
+                    }
+                }
+                OpKind::Exec => {
+                    self.activity.execs += 1;
+                    let e = prog.execs[span.start as usize];
+                    for r in &prog.reads[e.reads.range()] {
+                        let v = if r.copy_from == NONE {
+                            let v = self.read_reg(r.bank, r.addr)?;
+                            self.activity.reg_reads += 1;
+                            v
+                        } else {
+                            vals[r.copy_from as usize]
+                        };
+                        self.activity.crossbar_hops += 1;
+                        vals[r.dst as usize] = v;
+                    }
+                    for rst in &prog.rsts[e.rsts.range()] {
+                        self.banks[rst.bank as usize][rst.addr as usize] = None;
+                    }
+                    for pe in &prog.pes[e.pes.range()] {
+                        let av = if pe.a == NONE {
+                            f32::NAN
+                        } else {
+                            vals[pe.a as usize]
+                        };
+                        let bv = if pe.b == NONE {
+                            f32::NAN
+                        } else {
+                            vals[pe.b as usize]
+                        };
+                        let out = pe.op.apply(av, bv);
+                        if matches!(pe.op, PeOpcode::BypassL | PeOpcode::BypassR) {
+                            self.activity.pe_bypass_ops += 1;
+                        } else {
+                            self.activity.pe_arith_ops += 1;
+                        }
+                        vals[pe.dst as usize] = out;
+                    }
+                    let slot = ((self.cycle + prog.land_offset) % ring) as usize;
+                    for w in &prog.writes[e.writes.range()] {
+                        self.pending[slot].push((w.bank, vals[w.src as usize]));
+                        self.pending_count += 1;
+                    }
+                }
+            }
+            // Land due writebacks; `imm` doubles as the write-port
+            // conflict set (it already lists this cycle's immediate
+            // writes, and is cleared next iteration).
+            let slot = (self.cycle % ring) as usize;
+            if !self.pending[slot].is_empty() {
+                self.land_slot(slot, &mut imm)?;
+            }
+            self.cycle += 1;
+            self.activity.instr_bits_fetched += il;
+        }
+        // END run_decoded cycle loop
+        // Drain the pipeline.
+        while self.pending_count > 0 {
+            let slot = (self.cycle % ring) as usize;
+            if !self.pending[slot].is_empty() {
+                imm.clear();
+                self.land_slot(slot, &mut imm)?;
+            }
+            self.cycle += 1;
+        }
+        self.scratch.vals = vals;
+        self.scratch.imm = imm;
+        self.scratch.staged = staged;
+        Ok(())
+    }
+}
+
+/// Like [`crate::run_on`], but executing the pre-decoded form: stages
+/// inputs, runs [`Machine::run_decoded`], reads back outputs. `decoded`
+/// must be the decode of `compiled.program`; the result is byte-identical
+/// to [`crate::run_on`] for the same `(compiled, inputs)`.
+///
+/// # Errors
+///
+/// See [`SimError`].
+///
+/// # Panics
+///
+/// Panics if `inputs` does not match the DAG's input count, or if
+/// `decoded` was built for a different configuration than `compiled`.
+pub fn run_decoded_on(
+    m: &mut Machine,
+    compiled: &Compiled,
+    decoded: &DecodedProgram,
+    inputs: &[f32],
+) -> Result<RunResult, SimError> {
+    assert_eq!(
+        inputs.len(),
+        compiled.layout.input_slots.len(),
+        "input count mismatch"
+    );
+    assert_eq!(
+        *decoded.config(),
+        compiled.program.config,
+        "decoded program configuration mismatch"
+    );
+    if *m.config() == compiled.program.config {
+        m.reset();
+    } else {
+        *m = Machine::new(compiled.program.config);
+    }
+    for (&(row, col), &v) in compiled.layout.input_slots.iter().zip(inputs) {
+        if row != u32::MAX {
+            m.poke(row, col, v)?;
+        }
+    }
+    m.run_decoded(decoded)?;
+    let mut outputs = Vec::with_capacity(compiled.layout.output_slots.len());
+    for &(row, col) in &compiled.layout.output_slots {
+        outputs.push(m.peek(row, col)?);
+    }
+    Ok(RunResult {
+        cycles: m.cycle(),
+        outputs,
+        activity: m.activity(),
+        dag_ops: compiled.bin_dag.op_count() as u64,
+    })
+}

@@ -52,6 +52,9 @@ use dpu_isa::{encode, ArchConfig, Instr, PeOpcode, Program};
 
 use serde::{Deserialize, Serialize};
 
+mod decoded;
+pub use decoded::{run_decoded_on, DecodedProgram};
+
 /// Simulation errors — every variant indicates a compiler bug or a corrupt
 /// program, never a data-dependent condition.
 #[derive(Debug, Clone, PartialEq)]
@@ -250,16 +253,33 @@ pub struct Machine {
 struct Scratch {
     /// Crossbar port values of the current `exec` (one per port).
     ports: Vec<Option<f32>>,
-    /// Registers already fetched this `exec`, for broadcast dedup —
-    /// replaces the per-`exec` `HashMap` the hot path used to allocate;
-    /// a linear scan over ≤ `ports` entries beats hashing at this size.
-    fetched: Vec<(u32, u32, f32)>,
+    /// Broadcast-dedup memo, one slot per bank: the register fetched from
+    /// each bank this `exec`, stamped with [`Scratch::epoch`]. A stale
+    /// stamp means "not fetched this exec", so the memo is reused across
+    /// cycles (and requests) without ever being cleared — replacing the
+    /// linear re-scan of an already-fetched list per port, which made
+    /// operand fetch O(reads²) per `exec`. `ExecInstr::validate` permits
+    /// one read address per bank, so a single slot per bank suffices; the
+    /// address is still checked so hand-built (unvalidated) instructions
+    /// keep exact `(bank, addr)` dedup semantics.
+    fetch_epoch: Vec<u64>,
+    fetch_addr: Vec<u32>,
+    fetch_val: Vec<f32>,
+    /// Monotonic `exec` counter stamping [`Scratch::fetch_epoch`].
+    epoch: u64,
     /// Per-layer PE outputs of the current `exec`.
     layers: Vec<Vec<Option<f32>>>,
     /// Staging copy of a data row during `load` (the row must be copied
     /// out before writes because the priority-encoder write borrows the
     /// register file mutably).
     row: Vec<f32>,
+    /// [`Machine::run_decoded`] value array (ports + PE outputs).
+    vals: Vec<f32>,
+    /// [`Machine::run_decoded`] immediate-write banks of the current
+    /// cycle (doubles as the write-port conflict set when landing).
+    imm: Vec<u32>,
+    /// [`Machine::run_decoded`] staging buffer for `copy.k` moves.
+    staged: Vec<(u32, f32)>,
 }
 
 impl Machine {
@@ -397,11 +417,19 @@ impl Machine {
         if self.pending[slot].is_empty() {
             return Ok(());
         }
+        let mut seen: Vec<u32> = extra_writes.to_vec();
+        self.land_slot(slot, &mut seen)
+    }
+
+    /// Lands ring slot `slot` (which must be non-empty). `seen` lists
+    /// banks already written this cycle (write-port conflict detection)
+    /// and is extended in place — [`Machine::run_decoded`] passes a
+    /// reused buffer here so landing allocates nothing.
+    fn land_slot(&mut self, slot: usize, seen: &mut Vec<u32>) -> Result<(), SimError> {
         // Take the slot's buffer (the register file is borrowed mutably
         // below), then hand it back cleared so its capacity stays warm.
         let list = std::mem::take(&mut self.pending[slot]);
         self.pending_count -= list.len();
-        let mut seen: Vec<u32> = extra_writes.to_vec();
         for &(bank, value) in &list {
             if seen.contains(&bank) {
                 return Err(SimError::WritePortClash {
@@ -503,26 +531,39 @@ impl Machine {
                 // the run anyway.
                 //
                 // 1. Operand fetch through the input crossbar. Broadcast
-                // reads (same bank+addr on several ports) count once.
+                // reads (same bank+addr on several ports) count once,
+                // deduplicated through the epoch-stamped per-bank memo
+                // (see the field docs on [`Scratch`]).
                 let mut port_vals = std::mem::take(&mut self.scratch.ports);
                 port_vals.clear();
                 port_vals.resize(cfg.banks as usize, None);
-                let mut fetched = std::mem::take(&mut self.scratch.fetched);
-                fetched.clear();
+                let mut fetch_epoch = std::mem::take(&mut self.scratch.fetch_epoch);
+                let mut fetch_addr = std::mem::take(&mut self.scratch.fetch_addr);
+                let mut fetch_val = std::mem::take(&mut self.scratch.fetch_val);
+                fetch_epoch.resize(cfg.banks as usize, 0);
+                fetch_addr.resize(cfg.banks as usize, 0);
+                fetch_val.resize(cfg.banks as usize, 0.0);
+                self.scratch.epoch += 1;
+                let epoch = self.scratch.epoch;
                 for (port, r) in e.reads.iter().enumerate() {
                     let Some(r) = r else { continue };
-                    let v = match fetched.iter().find(|f| (f.0, f.1) == (r.bank, r.addr)) {
-                        Some(&(_, _, v)) => v,
-                        None => {
-                            let v = self.read_reg(r.bank, r.addr)?;
-                            self.activity.reg_reads += 1;
-                            fetched.push((r.bank, r.addr, v));
-                            v
-                        }
+                    let bank = r.bank as usize;
+                    let v = if fetch_epoch[bank] == epoch && fetch_addr[bank] == r.addr {
+                        fetch_val[bank]
+                    } else {
+                        let v = self.read_reg(r.bank, r.addr)?;
+                        self.activity.reg_reads += 1;
+                        fetch_epoch[bank] = epoch;
+                        fetch_addr[bank] = r.addr;
+                        fetch_val[bank] = v;
+                        v
                     };
                     self.activity.crossbar_hops += 1;
                     port_vals[port] = Some(v);
                 }
+                self.scratch.fetch_epoch = fetch_epoch;
+                self.scratch.fetch_addr = fetch_addr;
+                self.scratch.fetch_val = fetch_val;
                 // rst after all reads of the cycle (idempotent per bank).
                 for r in e.reads.iter().flatten() {
                     if r.valid_rst {
@@ -577,7 +618,6 @@ impl Machine {
                     self.pending_count += 1;
                 }
                 self.scratch.ports = port_vals;
-                self.scratch.fetched = fetched;
                 self.scratch.layers = layer_out;
             }
         }
@@ -936,6 +976,89 @@ mod tests {
         assert!(matches!(
             m.step(&Instr::Load { row: 0, mask }),
             Err(SimError::BankOverflow { bank: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn broadcast_dedup_counts_one_register_read_per_bank() {
+        let cfg = ArchConfig::new(1, 2, 2).unwrap();
+        let mut m = Machine::new(cfg);
+        m.step(&Instr::Load {
+            row: 0,
+            mask: vec![true, false],
+        })
+        .unwrap();
+        let exec = Instr::Exec(dpu_isa::ExecInstr {
+            reads: vec![
+                Some(dpu_isa::PortRead {
+                    bank: 0,
+                    addr: 0,
+                    valid_rst: false,
+                }),
+                Some(dpu_isa::PortRead {
+                    bank: 0,
+                    addr: 0,
+                    valid_rst: false,
+                }),
+            ],
+            pe_ops: vec![PeOpcode::Add],
+            writes: vec![None, None],
+        });
+        m.step(&exec).unwrap();
+        assert_eq!(m.activity().reg_reads, 1, "broadcast fetch counts once");
+        assert_eq!(m.activity().crossbar_hops, 2, "both ports hop the crossbar");
+        // The next exec is a fresh epoch: the bank is fetched again even
+        // though the memo still physically holds the stale entry.
+        m.step(&exec).unwrap();
+        assert_eq!(m.activity().reg_reads, 2);
+        assert_eq!(m.activity().crossbar_hops, 4);
+    }
+
+    #[test]
+    fn decoded_run_matches_interpreted_run() {
+        let mut b = DagBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let s = b.node(Op::Add, &[x, y]).unwrap();
+        let p = b.node(Op::Mul, &[s, x]).unwrap();
+        b.node(Op::Max, &[p, y]).unwrap();
+        let dag = b.finish().unwrap();
+        let cfg = ArchConfig::new(2, 8, 16).unwrap();
+        let compiled = compile(&dag, &cfg, &CompileOptions::default()).unwrap();
+        let decoded = DecodedProgram::decode(&compiled.program).unwrap();
+        let mut m = Machine::new(cfg);
+        for inputs in [[1.0f32, 2.0], [-3.5, 0.25], [7.0, 7.0]] {
+            let dec = run_decoded_on(&mut m, &compiled, &decoded, &inputs).unwrap();
+            let interp = run(&compiled, &inputs).unwrap();
+            assert_eq!(dec, interp);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_static_program_faults() {
+        let cfg = ArchConfig::new(1, 2, 2).unwrap();
+        let bad_row = Program {
+            config: cfg,
+            instrs: vec![Instr::Load {
+                row: cfg.data_mem_rows,
+                mask: vec![true, false],
+            }],
+        };
+        assert!(matches!(
+            DecodedProgram::decode(&bad_row),
+            Err(SimError::RowOutOfRange { .. })
+        ));
+        let idle_writeback = Program {
+            config: cfg,
+            instrs: vec![Instr::Exec(dpu_isa::ExecInstr {
+                reads: vec![None, None],
+                pe_ops: vec![PeOpcode::Nop],
+                writes: vec![Some(dpu_isa::PeId::new(0, 1, 0)), None],
+            })],
+        };
+        assert!(matches!(
+            DecodedProgram::decode(&idle_writeback),
+            Err(SimError::IdlePeWriteback { bank: 0 })
         ));
     }
 

@@ -65,6 +65,43 @@ fn sim_never_reads_the_wall_clock() {
 }
 
 #[test]
+fn run_decoded_cycle_loop_never_allocates() {
+    // The whole point of the pre-decoded pipeline is that per-cycle work
+    // is indexing into flat arrays built once at decode time. Any heap
+    // allocation inside the cycle loop silently re-introduces the
+    // per-instruction cost the decoder exists to remove, so the loop is
+    // fenced with markers and scanned for the allocating idioms.
+    let path = repo_root().join("crates/sim/src/decoded.rs");
+    let text = fs::read_to_string(&path).expect("decoded.rs exists and is UTF-8");
+    let start = text
+        .find("BEGIN run_decoded cycle loop")
+        .expect("decoded.rs keeps the BEGIN marker on the cycle loop");
+    let end = text
+        .find("END run_decoded cycle loop")
+        .expect("decoded.rs keeps the END marker on the cycle loop");
+    assert!(start < end, "cycle-loop markers are out of order");
+    let before = text[..start].lines().count();
+    let mut hits = Vec::new();
+    for (idx, line) in text[start..end].lines().enumerate() {
+        for pattern in ["Vec::new", "vec![", "to_vec"] {
+            if line.contains(pattern) {
+                hits.push(format!(
+                    "{}:{}: {}",
+                    path.display(),
+                    before + idx + 1,
+                    line.trim()
+                ));
+            }
+        }
+    }
+    assert!(
+        hits.is_empty(),
+        "run_decoded's cycle loop must not allocate:\n{}",
+        hits.join("\n")
+    );
+}
+
+#[test]
 fn runtime_builds_no_unbounded_channels_outside_the_ingest_gate() {
     // Every queue in dpu-runtime is bounded so overload sheds at the
     // admission gate instead of accumulating memory. The one sanctioned
