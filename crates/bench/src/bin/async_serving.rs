@@ -1,7 +1,7 @@
 //! Async sharded serving benchmark — the continuous-ingestion counterpart
 //! of `serving_throughput`, and the source of CI's `BENCH_serving.json`.
 //!
-//! Seven phases, all but the microbenches over the same 600-request,
+//! Eight phases, all but the microbenches over the same 600-request,
 //! 3-family mixed stream:
 //!
 //! 1. **Gated phase** (deterministic): a 4-shard dispatcher with work
@@ -64,9 +64,20 @@
 //!    (`queue_capacity`) and 40 ms deadlines on `Interactive` traffic.
 //!    The `graceful_degradation` section reports per-class accepted /
 //!    completed / shed / rejected counts — `bench_gate` recomputes
-//!    `offered == completed + shed + rejected` exactly, requires
-//!    interactive p99 within its budget, and ratchets the interactive
-//!    goodput ratio. Overload must degrade honestly, never silently.
+//!    `offered == completed + failed + shed + rejected` exactly,
+//!    requires interactive p99 within its budget, and ratchets the
+//!    interactive goodput ratio. Overload must degrade honestly, never
+//!    silently.
+//! 8. **Chaos recovery** (gated): the gated stream replays open-loop at
+//!    2× saturation against four supervised shards while a scripted
+//!    `ChaosPlan` kills one shard after its second round and stalls a
+//!    second one every round, with hedging covering the straggler.
+//!    Recovery must be loss-free: the `chaos` section's
+//!    `lost_tickets`/`failed` must be zero, `recovered ≥ 1` (the dead
+//!    shard's rounds provably moved through the lease/requeue path),
+//!    every completion is verified byte-identical to the serial
+//!    reference, and `bench_gate` re-checks the invariants and the
+//!    per-class ledger.
 //!
 //! Every serving phase's outputs are verified byte-identical against a
 //! serial reference pass. Run with
@@ -772,7 +783,8 @@ fn main() {
         assert_eq!(c.completed, local_completed[i], "{p:?} completed mismatch");
         assert_eq!(c.shed, local_shed[i], "{p:?} shed mismatch");
         assert_eq!(c.rejected, local_rejected[i], "{p:?} rejected mismatch");
-        honest &= c.offered == c.completed + c.shed + c.rejected;
+        assert_eq!(c.failed, 0, "{p:?} must not fail under clean overload");
+        honest &= c.offered == c.completed + c.failed + c.shed + c.rejected;
     }
     interactive_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let interactive_p99_ms = if interactive_ms.is_empty() {
@@ -809,6 +821,7 @@ fn main() {
                     .field("offered", c.offered)
                     .field("accepted", c.accepted)
                     .field("completed", c.completed)
+                    .field("failed", c.failed)
                     .field("shed", c.shed)
                     .field("rejected", c.rejected),
             );
@@ -836,6 +849,152 @@ fn main() {
         .field("honest", honest)
         .field("verified", true)
         .field("classes", degrade_classes);
+
+    // Phase 8: chaos recovery (gated). The gated 600-request stream
+    // replays open-loop at 2× saturation against four supervised shards
+    // while a scripted `ChaosPlan` kills the home shard of the first
+    // family after its second round and stalls a neighbour on every
+    // round; hedging covers the straggler. Stealing stays off so every
+    // rescued round provably moved through the supervised lease/requeue
+    // (or hedge) path rather than an opportunistic steal. The invariants
+    // checked here and re-checked by `bench_gate`: zero lost tickets,
+    // zero failures (three same-class survivors remain), at least one
+    // recovered round, every completion byte-identical to the serial
+    // reference, and an exactly balanced per-class ledger.
+    let chaos_shards: usize = 4;
+    let chaos_rps = 2.0 * SATURATION_RPS;
+    let kill_after_rounds: u64 = 2;
+    let killed_shard = runtime::home_shard(ref_keys[0], chaos_shards);
+    let stalled_shard = (killed_shard + 1) % chaos_shards;
+    let stall_per_round = Duration::from_millis(3);
+    let chaos_schedule = open_loop_schedule(&TrafficParams {
+        requests: REQUESTS,
+        rate_per_sec: chaos_rps,
+        pattern: ArrivalPattern::Poisson,
+        families: fams.len(),
+        skew: 0.0,
+        seed: 67,
+        priorities: PriorityMix::new(0.3, 0.3),
+    });
+    let chaos = dpu.dispatcher(DispatchOptions {
+        shards: chaos_shards,
+        max_batch: 16,
+        max_wait: Duration::from_micros(500),
+        work_stealing: false,
+        chaos: Some(
+            ChaosPlan::new(42)
+                .kill_shard(killed_shard, kill_after_rounds)
+                .stall_shard(stalled_shard, stall_per_round),
+        ),
+        hedge: Some(HedgeOptions {
+            trigger_percentile: 95,
+            min_wait: Duration::from_millis(5),
+        }),
+        stall_timeout: Some(Duration::from_millis(50)),
+        ..Default::default()
+    });
+    let chaos_keys: Vec<DagKey> = fams.iter().map(|f| chaos.register(f.dag.clone())).collect();
+    let chaos_submitter = chaos.submitter();
+    let chaos_start = Instant::now();
+    let mut chaos_tickets: Vec<Ticket> = Vec::with_capacity(REQUESTS);
+    for (i, arrival) in chaos_schedule.iter().enumerate() {
+        if let Some(wait) = arrival.at.checked_sub(chaos_start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        // Request content comes from the *reference* schedule so every
+        // completion can be bit-compared against the serial pass; only
+        // the replay timing and priority mix follow the chaos schedule.
+        let scheduled = arrival.instant(chaos_start);
+        let t = chaos_submitter
+            .submit_with(
+                build_request(&chaos_keys, i),
+                SubmitOptions::at(scheduled).priority(to_priority(arrival.class)),
+            )
+            .expect("chaos phase has no admission bound");
+        chaos_tickets.push(t);
+    }
+    chaos.drain();
+    let mut lost_tickets = 0u64;
+    for (i, t) in chaos_tickets.into_iter().enumerate() {
+        match t.wait_timeout(Duration::from_secs(60)) {
+            Ok(Outcome::Completed(res)) => {
+                assert_identical(&res, &reference.results[i], &format!("chaos request {i}"));
+            }
+            Ok(other) => panic!("chaos request {i}: survivors must complete, got {other:?}"),
+            Err(_) => lost_tickets += 1,
+        }
+    }
+    assert_eq!(lost_tickets, 0, "chaos recovery must not lose tickets");
+    let chaos_report = chaos.shutdown();
+    // `served` counts executions, so losing hedge copies can push it past
+    // the request count; the *ticket* ledger is the loss-free invariant.
+    let chaos_completed: u64 = [Priority::Interactive, Priority::Standard, Priority::Batch]
+        .iter()
+        .map(|&p| chaos_report.class(p).completed)
+        .sum();
+    assert_eq!(chaos_completed, REQUESTS as u64, "loss-free recovery");
+    assert!(
+        chaos_report.served >= REQUESTS as u64,
+        "every ticket's winning execution is part of `served`"
+    );
+    assert!(
+        chaos_report.recovered >= 1,
+        "the killed shard's rounds must recover via the lease/requeue path"
+    );
+    assert!(
+        chaos_report.hedge_wins <= chaos_report.hedged,
+        "a hedge can only win where a hedge was placed"
+    );
+    let chaos_classes = {
+        let mut obj = Json::obj();
+        for (p, name) in [
+            (Priority::Interactive, "interactive"),
+            (Priority::Standard, "standard"),
+            (Priority::Batch, "batch"),
+        ] {
+            let c = chaos_report.class(p);
+            assert_eq!(
+                c.offered,
+                c.completed + c.failed + c.shed + c.rejected,
+                "{name} ledger must balance under chaos"
+            );
+            obj = obj.field(
+                name,
+                Json::obj()
+                    .field("offered", c.offered)
+                    .field("accepted", c.accepted)
+                    .field("completed", c.completed)
+                    .field("failed", c.failed)
+                    .field("shed", c.shed)
+                    .field("rejected", c.rejected),
+            );
+        }
+        obj
+    };
+    let chaos_failed: u64 = [Priority::Interactive, Priority::Standard, Priority::Batch]
+        .iter()
+        .map(|&p| chaos_report.class(p).failed)
+        .sum();
+    assert_eq!(chaos_failed, 0, "survivors must absorb every failure");
+    let chaos_json = Json::obj()
+        .field("requests", REQUESTS)
+        .field("shards", chaos_shards)
+        .field("offered_rps", chaos_rps)
+        .field("killed_shard", killed_shard)
+        .field("kill_after_rounds", kill_after_rounds)
+        .field("stalled_shard", stalled_shard)
+        .field("stall_per_round_ms", 3.0)
+        .field("hedge_trigger_percentile", 95u64)
+        .field("hedge_min_wait_ms", 5.0)
+        .field("lost_tickets", lost_tickets)
+        .field("completed", chaos_completed)
+        .field("served", chaos_report.served)
+        .field("recovered", chaos_report.recovered)
+        .field("hedged", chaos_report.hedged)
+        .field("hedge_wins", chaos_report.hedge_wins)
+        .field("failed", chaos_failed)
+        .field("classes", chaos_classes)
+        .field("verified", true);
 
     let report = Json::obj()
         .field("bench", "async_serving")
@@ -902,6 +1061,11 @@ fn main() {
         // `bench_gate` ratchets. Counts are load-timing dependent, but
         // the honesty equation and the budget hold on any machine.
         .field("graceful_degradation", graceful_degradation)
+        // Chaos recovery: loss-free failure injection. Counts such as
+        // hedged/hedge_wins are timing dependent, but the invariants
+        // (lost_tickets == 0, failed == 0, recovered ≥ 1, balanced
+        // ledger, byte-identical outputs) hold on any machine.
+        .field("chaos", chaos_json)
         // Host-side observability (machine-dependent, not gated).
         .field("host_seconds", gated_host_seconds)
         .field("host_rps", REQUESTS as f64 / gated_host_seconds.max(1e-9))

@@ -44,14 +44,24 @@
 //! - The overload phase (`graceful_degradation`, 2× saturation with a
 //!   priority mix) is gated on **honesty and goodput**, not raw counts:
 //!   the admission ledger must balance exactly (per class and in total,
-//!   `offered == completed + shed + rejected` — recomputed here, not
-//!   trusted from the bench's own `honest` flag), interactive p99 must
-//!   stay inside the phase's declared latency budget, at least one
-//!   interactive request must actually complete (so "shed everything"
-//!   can't fake a pass), and `interactive_goodput_ratio` — of the
-//!   interactive requests served, the fraction inside the budget —
-//!   ratchets higher-is-better. Raw shed/reject counts are host-load
+//!   `offered == completed + failed + shed + rejected` — recomputed
+//!   here, not trusted from the bench's own `honest` flag), interactive
+//!   p99 must stay inside the phase's declared latency budget, at least
+//!   one interactive request must actually complete (so "shed
+//!   everything" can't fake a pass), and `interactive_goodput_ratio` —
+//!   of the interactive requests served, the fraction inside the budget
+//!   — ratchets higher-is-better. Raw shed/reject counts are host-load
 //!   dependent and are recorded, never gated.
+//! - The chaos phase (`chaos`, scripted kill + stall + hedging at 2×
+//!   saturation) is gated on **loss-freedom**: `lost_tickets` and
+//!   `failed` must be exactly zero, `recovered` must be at least one
+//!   (the dead shard's rounds provably moved through the lease/requeue
+//!   path), `hedge_wins ≤ hedged` (a hedge can only win where one was
+//!   placed), `completed` must equal the offered request count, and the
+//!   per-class ledger must balance exactly — recomputed here. Hedge
+//!   counts themselves are timing dependent and are recorded, never
+//!   ratcheted (`served` counts executions, so losing hedge copies may
+//!   push it past the request count by design).
 //!
 //! Usage:
 //! `cargo run --release -p dpu-bench --bin bench_gate -- \
@@ -99,6 +109,39 @@ fn num(doc: &Json, key: &str, path: &str) -> Result<f64, String> {
     doc.get(key)
         .and_then(Json::as_f64)
         .ok_or_else(|| format!("{path}: missing numeric field `{key}`"))
+}
+
+/// Recomputes a section's per-class admission ledger and errors on any
+/// imbalance: every offered request must be accounted for as completed,
+/// failed, shed, or rejected — exactly, per class. Returns the summed
+/// `(offered, settled)` totals for the caller's aggregate check.
+fn class_ledger(section: &Json, name: &str, path: &str) -> Result<(f64, f64), String> {
+    let classes = section
+        .get("classes")
+        .ok_or_else(|| format!("{path}: {name}.classes missing"))?;
+    let Json::Obj(class_entries) = classes else {
+        return Err(format!("{path}: {name}.classes is not an object"));
+    };
+    let (mut offered_sum, mut settled_sum) = (0.0, 0.0);
+    for (class, entry) in class_entries {
+        let field = |key: &str| {
+            entry
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{path}: {name}.classes.{class}.{key} missing"))
+        };
+        let offered = field("offered")?;
+        let settled = field("completed")? + field("failed")? + field("shed")? + field("rejected")?;
+        if offered != settled {
+            return Err(format!(
+                "{path}: {name} ledger imbalance for class `{class}`: offered {offered} \
+                 != completed + failed + shed + rejected {settled}"
+            ));
+        }
+        offered_sum += offered;
+        settled_sum += settled;
+    }
+    Ok((offered_sum, settled_sum))
 }
 
 /// One ratchet check; `higher_better` picks the regression direction
@@ -404,40 +447,12 @@ fn run() -> Result<(), String> {
             }
         }
         // Recompute the honesty equation from the per-class ledger: every
-        // offered request must be accounted for as completed, shed, or
-        // rejected — exactly, per class and in aggregate. A bench that
-        // loses track of work must not pass by setting its own flag.
-        let classes = cur_deg
-            .get("classes")
-            .ok_or_else(|| format!("{}: graceful_degradation.classes missing", args.current))?;
-        let Json::Obj(class_entries) = classes else {
-            return Err(format!(
-                "{}: graceful_degradation.classes is not an object",
-                args.current
-            ));
-        };
-        let (mut offered_sum, mut settled_sum) = (0.0, 0.0);
-        for (class, entry) in class_entries {
-            let field = |key: &str| {
-                entry.get(key).and_then(Json::as_f64).ok_or_else(|| {
-                    format!(
-                        "{}: graceful_degradation.classes.{class}.{key} missing",
-                        args.current
-                    )
-                })
-            };
-            let offered = field("offered")?;
-            let settled = field("completed")? + field("shed")? + field("rejected")?;
-            if offered != settled {
-                return Err(format!(
-                    "{}: graceful_degradation ledger imbalance for class `{class}`: \
-                     offered {offered} != completed + shed + rejected {settled}",
-                    args.current
-                ));
-            }
-            offered_sum += offered;
-            settled_sum += settled;
-        }
+        // offered request must be accounted for as completed, failed,
+        // shed, or rejected — exactly, per class and in aggregate. A
+        // bench that loses track of work must not pass by setting its own
+        // flag.
+        let (offered_sum, settled_sum) =
+            class_ledger(cur_deg, "graceful_degradation", &args.current)?;
         let offered_total = num(cur_deg, "offered", &args.current)?;
         if offered_sum != offered_total || settled_sum != offered_total {
             return Err(format!(
@@ -478,6 +493,70 @@ fn run() -> Result<(), String> {
             num(base_deg, "interactive_goodput_ratio", &args.baseline)?,
             tol,
         );
+    }
+
+    // Chaos recovery: loss-freedom is absolute, not a ratchet. A single
+    // lost ticket, a single failure with survivors available, a recovery
+    // count of zero (the kill never exercised the lease/requeue path), a
+    // hedge win without a hedge, or an unbalanced ledger all hard-fail
+    // regardless of tolerance. Hedge counts vary with timing and are
+    // recorded, never ratcheted.
+    if baseline.get("chaos").is_some() {
+        let cur_chaos = current
+            .get("chaos")
+            .ok_or_else(|| format!("{}: chaos section missing (baseline has it)", args.current))?;
+        if cur_chaos.get("verified").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("{}: chaos.verified is not true", args.current));
+        }
+        let lost = num(cur_chaos, "lost_tickets", &args.current)?;
+        if lost != 0.0 {
+            return Err(format!(
+                "{}: chaos.lost_tickets is {lost} — recovery must be loss-free",
+                args.current
+            ));
+        }
+        println!("bench-gate: chaos.lost_tickets: 0 pass");
+        let chaos_failed = num(cur_chaos, "failed", &args.current)?;
+        if chaos_failed != 0.0 {
+            return Err(format!(
+                "{}: chaos.failed is {chaos_failed} — surviving shards must absorb \
+                 every round of a dead peer",
+                args.current
+            ));
+        }
+        println!("bench-gate: chaos.failed: 0 pass");
+        let recovered = num(cur_chaos, "recovered", &args.current)?;
+        if recovered < 1.0 {
+            return Err(format!(
+                "{}: chaos.recovered is {recovered} — the scripted kill never \
+                 exercised the lease/requeue recovery path",
+                args.current
+            ));
+        }
+        println!("bench-gate: chaos.recovered: {recovered} pass (>= 1)");
+        let hedged = num(cur_chaos, "hedged", &args.current)?;
+        let hedge_wins = num(cur_chaos, "hedge_wins", &args.current)?;
+        if hedge_wins > hedged {
+            return Err(format!(
+                "{}: chaos.hedge_wins {hedge_wins} exceeds chaos.hedged {hedged}",
+                args.current
+            ));
+        }
+        println!("bench-gate: chaos.hedge_wins: {hedge_wins} of {hedged} hedged pass");
+        let (offered_sum, settled_sum) = class_ledger(cur_chaos, "chaos", &args.current)?;
+        let requests = num(cur_chaos, "requests", &args.current)?;
+        let completed = num(cur_chaos, "completed", &args.current)?;
+        // `served` counts executions (losing hedge copies included) and
+        // may exceed the request count; the ticket ledger may not.
+        if offered_sum != requests || settled_sum != requests || completed != requests {
+            return Err(format!(
+                "{}: chaos ledger imbalance in aggregate: requests {requests}, \
+                 completed {completed}, class offered sum {offered_sum}, class \
+                 settled sum {settled_sum}",
+                args.current
+            ));
+        }
+        println!("bench-gate: chaos ledger: offered == completed == {requests} pass");
     }
 
     if failed {

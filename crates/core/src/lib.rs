@@ -63,10 +63,11 @@ pub mod prelude {
     pub use dpu_energy::Metrics;
     pub use dpu_isa::{ArchConfig, Topology};
     pub use dpu_runtime::{
-        Backend, BaselineBackend, CacheStats, ClassReport, DagKey, DispatchOptions, DispatchReport,
-        Dispatcher, Engine, EngineOptions, LatencyHistogram, LatencyReport, Outcome,
-        PlatformSummary, Priority, ProgramCache, Request, ServingReport, ShedReason, SpillStore,
-        StealClass, SubmitAllError, SubmitOptions, SubmitRejection, Submitter, Ticket, Timeline,
+        Backend, BaselineBackend, CacheStats, ChaosEvent, ChaosPlan, ClassReport, DagKey,
+        DispatchOptions, DispatchReport, Dispatcher, Engine, EngineOptions, HedgeOptions,
+        LatencyHistogram, LatencyReport, Outcome, PlatformSummary, Priority, ProgramCache, Request,
+        ServeError, ServingReport, ShedReason, SpillStore, StealClass, SubmitAllError,
+        SubmitOptions, SubmitRejection, Submitter, Ticket, Timeline,
     };
     pub use dpu_sim::{RunResult, VerifyReport};
     // The static analyzer's report type stays behind its crate path

@@ -42,7 +42,21 @@
 //!   batch rounds in packing, dispatch, and stealing, and an aging floor
 //!   ([`DispatchOptions::priority_aging`]) keeps batch work from
 //!   starving. [`DispatchReport::classes`] is the honest per-class
-//!   ledger: `offered == completed + shed + rejected`, always.
+//!   ledger: `offered == completed + failed + shed + rejected`, always.
+//! - **Failure injection and recovery.** A seeded
+//!   [`ChaosPlan`] ([`DispatchOptions::chaos`]) scripts
+//!   shard deaths and stalls deterministically. A dying shard's queued
+//!   *and* in-flight rounds are recovered through a generation-stamped
+//!   round-lease table onto surviving same-class shards (the moves
+//!   `steal_compatible` statically proves result-identical), worker
+//!   panics at the backend seam are contained the same way, and optional
+//!   hedging ([`DispatchOptions::hedge`]) re-enqueues a copy of a
+//!   straggling round on an idle identical-class shard — first completion
+//!   per job wins its atomic claim, the loser is discarded *before*
+//!   ticket fulfilment. No accepted ticket is ever lost or fulfilled
+//!   twice, and surviving results stay byte-identical to a serial pass.
+//!   [`DispatchReport::recovered`] / [`DispatchReport::hedged`] /
+//!   [`DispatchReport::hedge_wins`] report the recovery traffic.
 //! - **Mirror mode.** [`Dispatcher::with_backends`] optionally takes
 //!   *mirror* shards: every accepted request is additionally executed,
 //!   ticketless, on each mirror — e.g. a DPU-v2 fleet serving the
@@ -68,8 +82,9 @@
 //!   count, stealing, or timing (a request's result depends only on its
 //!   backend's parameters, its program, and its inputs).
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -80,11 +95,12 @@ use dpu_isa::ArchConfig;
 
 use crate::backend::Backend;
 use crate::cache::CacheStats;
+use crate::chaos::{ChaosPlan, HedgeOptions};
 use crate::ingest::{
     job_channel, Admission, Gate, Job, Outcome, Priority, ShedReason, Submitter, TicketState,
 };
-use crate::latency::{Clock, LatencyReport, Timeline};
-use crate::pool::{Engine, EngineOptions, Request};
+use crate::latency::{Clock, LatencyHistogram, LatencyReport, Timeline};
+use crate::pool::{Engine, EngineOptions, Request, ServeError};
 use crate::{DagKey, DPU_V2_L_CORES};
 
 /// Sizing and policy knobs of a [`Dispatcher`].
@@ -125,6 +141,22 @@ pub struct DispatchOptions {
     /// waited this long, so sustained interactive load can delay
     /// [`Priority::Batch`] work but never starve it forever.
     pub priority_aging: Duration,
+    /// Deterministic failure script ([`ChaosPlan`]): kill or stall
+    /// specific shards at specific points. `None` (the default) injects
+    /// nothing and leaves the dispatch path byte-identical to a run
+    /// without chaos support.
+    pub chaos: Option<ChaosPlan>,
+    /// Straggler hedging policy ([`HedgeOptions`]): re-enqueue a copy of
+    /// a round that has waited past a latency-percentile trigger on an
+    /// idle identical-class shard; first completion per job wins. `None`
+    /// (the default) never hedges.
+    pub hedge: Option<HedgeOptions>,
+    /// Stalled-shard detection: a round checked out by a worker for
+    /// longer than this is presumed stalled and its lease is reclaimed —
+    /// a *copy* is requeued on a surviving same-class shard while the
+    /// original worker keeps running (whichever copy finishes a job
+    /// first wins its claim). `None` (the default) never reclaims.
+    pub stall_timeout: Option<Duration>,
 }
 
 impl Default for DispatchOptions {
@@ -139,7 +171,20 @@ impl Default for DispatchOptions {
             spill_dir: None,
             queue_capacity: None,
             priority_aging: Duration::from_millis(20),
+            chaos: None,
+            hedge: None,
+            stall_timeout: None,
         }
+    }
+}
+
+impl DispatchOptions {
+    /// Whether any failure-supervision feature is active. Supervised
+    /// dispatch leases every checked-out round and gives every job an
+    /// atomic completion claim; the unsupervised (default) path carries
+    /// neither and is exactly the pre-chaos pipeline.
+    fn supervised(&self) -> bool {
+        self.chaos.is_some() || self.hedge.is_some() || self.stall_timeout.is_some()
     }
 }
 
@@ -167,6 +212,12 @@ struct Round {
     /// When the round closed — the reference point for
     /// [`DispatchOptions::priority_aging`] promotion.
     closed_at: Instant,
+    /// Whether a hedge copy of this round has been enqueued (set on both
+    /// the original and the copy), so a round is hedged at most once.
+    hedged: bool,
+    /// Whether this round *is* a hedge copy — wins by its jobs are
+    /// counted as hedge wins.
+    hedge: bool,
     /// Requests in class-then-arrival order (interactive first within the
     /// round), each with its completion handle and its in-progress
     /// latency timeline.
@@ -185,6 +236,20 @@ impl Round {
             rank
         }
     }
+
+    /// A shareable copy for recovery and hedging: same tickets, same
+    /// claim tokens (so every job still resolves exactly once), own
+    /// request payloads and timelines.
+    fn clone_shared(&self) -> Round {
+        Round {
+            home: self.home,
+            priority: self.priority,
+            closed_at: self.closed_at,
+            hedged: self.hedged,
+            hedge: self.hedge,
+            jobs: self.jobs.iter().map(TrackedJob::clone_shared).collect(),
+        }
+    }
 }
 
 /// Per-shard queue state behind the shared lock.
@@ -194,6 +259,10 @@ struct QueueState {
     /// been queued; a shard exits when every queue it may serve is closed
     /// and empty.
     closed: bool,
+    /// Set once the shard's worker died (a chaos kill or a contained
+    /// panic). A dead queue is permanently empty: its backlog was
+    /// requeued at death and ingestion reroutes later rounds around it.
+    dead: bool,
 }
 
 /// The shared queue fabric: one lock over all shard queues, so stealing
@@ -202,6 +271,149 @@ struct QueueState {
 struct Queues {
     inner: Mutex<Vec<QueueState>>,
     work: Condvar,
+}
+
+/// One leased round: a shard checked it out; the table holds a shareable
+/// copy until the worker releases it, so a dead or stalled holder's
+/// in-flight work can be reconstructed without its cooperation.
+struct Lease {
+    /// The shard that checked the round out.
+    holder: usize,
+    /// The holder's reclaim generation at checkout. Reclaiming a shard
+    /// bumps its generation and tears down only leases stamped with an
+    /// older one, so each lease is reclaimed at most once even against a
+    /// racing release.
+    generation: u64,
+    /// When the round was checked out — the stall-detection reference.
+    checked_out: Instant,
+    /// Shareable copy of the round (same tickets, same claim tokens).
+    round: Round,
+}
+
+struct LeaseInner {
+    next_id: u64,
+    /// Per-shard reclaim generation; see [`Lease::generation`].
+    generation: Vec<u64>,
+    leases: HashMap<u64, Lease>,
+}
+
+/// The round-lease table of supervised mode: every round a worker checks
+/// out is recorded here until the worker releases it after resolution.
+/// The recovery paths reclaim leases — a dead shard's all at once, a
+/// stalled shard's individually — and requeue the copies; the atomic
+/// claim on every job guarantees that a late original and a reclaimed
+/// copy can never both fulfil a ticket.
+///
+/// Lock discipline: the lease lock is a leaf — it is only ever taken
+/// alone or *inside* the queues lock, never around it.
+struct LeaseTable {
+    inner: Mutex<LeaseInner>,
+}
+
+impl LeaseTable {
+    fn new(shards: usize) -> Self {
+        LeaseTable {
+            inner: Mutex::new(LeaseInner {
+                next_id: 0,
+                generation: vec![0; shards],
+                leases: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Records `round` as checked out by `holder`, keeping a shareable
+    /// copy for reclaim. Returns the lease id the worker must release
+    /// once the round resolves.
+    fn checkout(&self, holder: usize, round: &Round) -> u64 {
+        let mut inner = self.inner.lock().expect("lease table poisoned");
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let generation = inner.generation[holder];
+        inner.leases.insert(
+            id,
+            Lease {
+                holder,
+                generation,
+                checked_out: Instant::now(),
+                round: round.clone_shared(),
+            },
+        );
+        id
+    }
+
+    /// Releases a lease after its round resolved. A lease already
+    /// reclaimed (id absent) is a no-op — the reclaimer owns the copy.
+    fn release(&self, id: u64) {
+        self.inner
+            .lock()
+            .expect("lease table poisoned")
+            .leases
+            .remove(&id);
+    }
+
+    /// Tears down every lease of `shard` (it died): bumps the shard's
+    /// generation and returns the stranded round copies, each exactly
+    /// once.
+    fn reclaim_shard(&self, shard: usize) -> Vec<Round> {
+        let mut inner = self.inner.lock().expect("lease table poisoned");
+        inner.generation[shard] += 1;
+        let generation = inner.generation[shard];
+        let ids: Vec<u64> = inner
+            .leases
+            .iter()
+            .filter(|(_, l)| l.holder == shard && l.generation < generation)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.into_iter()
+            .filter_map(|id| inner.leases.remove(&id))
+            .map(|l| l.round)
+            .collect()
+    }
+
+    /// Reclaims every lease checked out longer than `timeout` ago — the
+    /// stalled-holder sweep. The holder is *not* dead: it keeps running
+    /// and may still resolve its original copy; claims arbitrate.
+    fn reclaim_stalled(&self, timeout: Duration) -> Vec<(usize, Round)> {
+        let now = Instant::now();
+        let mut inner = self.inner.lock().expect("lease table poisoned");
+        let ids: Vec<u64> = inner
+            .leases
+            .iter()
+            .filter(|(_, l)| now.duration_since(l.checked_out) >= timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut out = Vec::new();
+        for id in ids {
+            if let Some(lease) = inner.leases.remove(&id) {
+                inner.generation[lease.holder] += 1;
+                out.push((lease.holder, lease.round));
+            }
+        }
+        out
+    }
+
+    /// Whether any live lease is held by a shard of steal class `class`.
+    /// Workers must not exit while a same-class peer holds one: that
+    /// peer could still die and requeue its in-hand round onto them.
+    fn class_has_leases(&self, steal_class: &[usize], class: usize) -> bool {
+        self.inner
+            .lock()
+            .expect("lease table poisoned")
+            .leases
+            .values()
+            .any(|l| steal_class[l.holder] == class)
+    }
+}
+
+/// Shared failure-supervision state, present only when
+/// [`DispatchOptions::supervised`] — the default path never allocates or
+/// touches it.
+struct Supervision {
+    leases: LeaseTable,
+    /// Observed round queue waits (close → checkout, ns), feeding the
+    /// hedge percentile trigger. Written by workers only when hedging is
+    /// configured.
+    round_waits: Mutex<LatencyHistogram>,
 }
 
 /// Outstanding accepted-but-not-completed job count (mirror copies
@@ -385,17 +597,23 @@ impl PlatformSummary {
 
 /// Per-priority-class slice of the admission/outcome ledger — one row of
 /// [`DispatchReport::classes`]. The honesty invariant per class (and in
-/// aggregate) is `offered == completed + shed + rejected`: every submit
-/// attempt is accounted for exactly once, never silently dropped.
+/// aggregate) is `offered == completed + failed + shed + rejected`:
+/// every submit attempt is accounted for exactly once, never silently
+/// dropped.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClassReport {
     /// Submit attempts of this class (`accepted + rejected`).
     pub offered: u64,
     /// Requests admitted past the submission edge.
     pub accepted: u64,
-    /// Accepted requests executed to resolution (success or per-request
-    /// failure).
+    /// Accepted requests executed to successful completion.
     pub completed: u64,
+    /// Accepted requests that resolved
+    /// [`Outcome::Failed`]: a per-request backend
+    /// error, or a shard loss with no surviving compatible shard to
+    /// recover onto. (Before the failure ledger these were miscounted as
+    /// completions.)
+    pub failed: u64,
     /// Accepted requests shed before execution to protect a deadline.
     pub shed: u64,
     /// Submit attempts rejected at the edge (backpressure, shutdown, or a
@@ -426,7 +644,10 @@ pub struct DispatchReport {
     pub submitted: u64,
     /// Requests executed on primary shards (equals `submitted` minus
     /// [`DispatchReport::shed`](DispatchReport::shed) — and exactly
-    /// `submitted` when nothing was shed: shutdown is loss-free).
+    /// `submitted` when nothing was shed: shutdown is loss-free). Under
+    /// hedging this counts *executions*, so losing hedge copies can push
+    /// it past `submitted`; the ticket ledger in
+    /// [`DispatchReport::classes`] stays exact either way.
     pub served: u64,
     /// Shadow executions on mirror shards (`submitted ×` mirror count
     /// when mirrors are configured).
@@ -462,7 +683,7 @@ pub struct DispatchReport {
     pub latency: LatencyReport,
     /// Per-priority-class admission/outcome ledger, indexed by
     /// [`Priority::index`]. Each class (and the aggregate) satisfies
-    /// `offered == completed + shed + rejected`.
+    /// `offered == completed + failed + shed + rejected`.
     pub classes: [ClassReport; 3],
     /// Rejections at the edge because the home-shard queue was at
     /// [`DispatchOptions::queue_capacity`].
@@ -479,6 +700,17 @@ pub struct DispatchReport {
     /// Accepted requests shed at execute time: the deadline expired while
     /// the request sat in queue.
     pub shed_expired: u64,
+    /// Jobs rescued from a dead or stalled shard: requeued onto a
+    /// surviving same-class shard by the supervision path. An overlay
+    /// counter — recovery moves work without changing any outcome, so it
+    /// sits outside the class balance equation.
+    pub recovered: u64,
+    /// Jobs for which a hedge copy was enqueued on an idle
+    /// identical-class shard ([`DispatchOptions::hedge`]).
+    pub hedged: u64,
+    /// Hedged jobs whose copy won the completion claim (the straggler
+    /// original lost and was discarded before ticket fulfilment).
+    pub hedge_wins: u64,
 }
 
 impl DispatchReport {
@@ -624,6 +856,10 @@ pub struct Dispatcher {
     in_flight: Arc<InFlight>,
     ingest: Option<JoinHandle<IngestStats>>,
     workers: Vec<JoinHandle<()>>,
+    /// The supervision thread (stall reclaim + hedging), spawned only
+    /// when a policy needing one is configured.
+    supervisor: Option<JoinHandle<()>>,
+    supervisor_stop: Arc<AtomicBool>,
     options: DispatchOptions,
     started: Instant,
     window: Arc<ServingWindow>,
@@ -713,6 +949,12 @@ impl Dispatcher {
         options.shards = primaries.len();
         let p = primaries.len();
         let n = p + mirrors.len();
+        if let Some(max) = options.chaos.as_ref().and_then(ChaosPlan::max_shard) {
+            assert!(
+                max < n,
+                "chaos plan targets shard {max} but only {n} shards exist"
+            );
+        }
 
         let shards: Vec<Arc<ShardState>> = primaries
             .into_iter()
@@ -761,10 +1003,17 @@ impl Dispatcher {
                     .map(|_| QueueState {
                         rounds: VecDeque::new(),
                         closed: false,
+                        dead: false,
                     })
                     .collect(),
             ),
             work: Condvar::new(),
+        });
+        let supervision: Option<Arc<Supervision>> = options.supervised().then(|| {
+            Arc::new(Supervision {
+                leases: LeaseTable::new(n),
+                round_waits: Mutex::new(LatencyHistogram::new()),
+            })
         });
         let in_flight = Arc::new(InFlight {
             count: Mutex::new(0),
@@ -780,6 +1029,7 @@ impl Dispatcher {
         let ingest = {
             let queues = Arc::clone(&queues);
             let in_flight = Arc::clone(&in_flight);
+            let steal_class = Arc::clone(&steal_class);
             let window = Arc::clone(&window);
             let clock = Arc::clone(&clock);
             let admission = Arc::clone(&admission);
@@ -788,7 +1038,16 @@ impl Dispatcher {
                 .name("dpu-ingest".into())
                 .spawn(move || {
                     ingest_loop(
-                        &rx, &queues, &in_flight, &window, &clock, &admission, p, n, &options,
+                        &rx,
+                        &queues,
+                        &in_flight,
+                        &window,
+                        &clock,
+                        &admission,
+                        &steal_class,
+                        p,
+                        n,
+                        &options,
                     )
                 })
                 .expect("spawn ingest thread")
@@ -803,6 +1062,7 @@ impl Dispatcher {
                 let window = Arc::clone(&window);
                 let clock = Arc::clone(&clock);
                 let admission = Arc::clone(&admission);
+                let supervision = supervision.clone();
                 let options = options.clone();
                 std::thread::Builder::new()
                     .name(format!("dpu-shard-{i}"))
@@ -816,12 +1076,32 @@ impl Dispatcher {
                             &clock,
                             &admission,
                             &steal_class,
+                            supervision.as_deref(),
                             &options,
                         )
                     })
                     .expect("spawn shard thread")
             })
             .collect();
+
+        let supervisor_stop = Arc::new(AtomicBool::new(false));
+        let supervisor = supervision
+            .as_ref()
+            .filter(|_| options.hedge.is_some() || options.stall_timeout.is_some())
+            .map(|sup| {
+                let stop = Arc::clone(&supervisor_stop);
+                let sup = Arc::clone(sup);
+                let queues = Arc::clone(&queues);
+                let steal_class = Arc::clone(&steal_class);
+                let admission = Arc::clone(&admission);
+                let options = options.clone();
+                std::thread::Builder::new()
+                    .name("dpu-supervisor".into())
+                    .spawn(move || {
+                        supervisor_loop(&stop, &queues, &sup, &steal_class, p, &admission, &options)
+                    })
+                    .expect("spawn supervisor thread")
+            });
 
         Dispatcher {
             shards,
@@ -832,6 +1112,8 @@ impl Dispatcher {
             in_flight,
             ingest: Some(ingest),
             workers,
+            supervisor,
+            supervisor_stop,
             options,
             started,
             window,
@@ -961,6 +1243,7 @@ impl Dispatcher {
                 offered: accepted + rejected,
                 accepted,
                 completed: adm.completed[i].load(Ordering::Relaxed),
+                failed: adm.failed[i].load(Ordering::Relaxed),
                 shed: adm.shed[i].load(Ordering::Relaxed),
                 rejected,
             }
@@ -968,7 +1251,7 @@ impl Dispatcher {
         debug_assert!(
             classes
                 .iter()
-                .all(|c| c.offered == c.completed + c.shed + c.rejected),
+                .all(|c| c.offered == c.completed + c.failed + c.shed + c.rejected),
             "admission ledger dishonest: {classes:?}"
         );
         DispatchReport {
@@ -992,6 +1275,9 @@ impl Dispatcher {
             rejected_deadline_past: adm.rejected_deadline_past.load(Ordering::Relaxed),
             shed_unmeetable: adm.shed_unmeetable.load(Ordering::Relaxed),
             shed_expired: adm.shed_expired.load(Ordering::Relaxed),
+            recovered: adm.recovered.load(Ordering::Relaxed),
+            hedged: adm.hedged.load(Ordering::Relaxed),
+            hedge_wins: adm.hedge_wins.load(Ordering::Relaxed),
         }
     }
 
@@ -1012,6 +1298,13 @@ impl Dispatcher {
         self.final_ingest_stats = Some(ingest.join().expect("ingest thread panicked"));
         for w in self.workers.drain(..) {
             w.join().expect("shard thread panicked");
+        }
+        // The supervisor outlives the workers so stall reclaim and
+        // hedging keep helping the final drain; with the workers joined
+        // there is nothing left for it to supervise.
+        self.supervisor_stop.store(true, Ordering::Relaxed);
+        if let Some(sup) = self.supervisor.take() {
+            sup.join().expect("supervisor thread panicked");
         }
         debug_assert_eq!(self.in_flight(), 0, "shutdown left requests in flight");
         debug_assert!(
@@ -1041,6 +1334,45 @@ struct TrackedJob {
     ticket: Option<Arc<TicketState>>,
     priority: Priority,
     timeline: Timeline,
+    /// First-completion-wins arbiter shared by every copy of this job
+    /// (recovery requeues, hedges). `None` outside supervised mode,
+    /// where exactly one copy of a job ever exists.
+    claim: Option<Arc<AtomicBool>>,
+}
+
+impl TrackedJob {
+    /// Wins the exclusive right to resolve this job. Unclaimed jobs (the
+    /// default, copy-free path) always win; copies race through the
+    /// shared token, and exactly one caller ever sees `true`.
+    fn claim(&self) -> bool {
+        match &self.claim {
+            None => true,
+            Some(token) => token
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok(),
+        }
+    }
+
+    /// Whether another copy of this job has already resolved it — a
+    /// cheap pre-check so losing copies skip the backend seam entirely.
+    fn already_resolved(&self) -> bool {
+        self.claim
+            .as_ref()
+            .is_some_and(|token| token.load(Ordering::Acquire))
+    }
+
+    /// A shareable copy: same ticket, same claim token (so the job still
+    /// resolves exactly once), own request payload and timeline (the
+    /// stamps diverge per copy; the claim winner's are reported).
+    fn clone_shared(&self) -> TrackedJob {
+        TrackedJob {
+            request: self.request.clone(),
+            ticket: self.ticket.clone(),
+            priority: self.priority,
+            timeline: self.timeline,
+            claim: self.claim.clone(),
+        }
+    }
 }
 
 /// Per-shard pending-round state: one job list per priority class. Round
@@ -1079,12 +1411,14 @@ fn ingest_loop(
     window: &ServingWindow,
     clock: &Clock,
     admission: &Admission,
+    steal_class: &[usize],
     p: usize,
     n: usize,
     options: &DispatchOptions,
 ) -> IngestStats {
     use crossbeam::channel::RecvTimeoutError;
 
+    let supervised = options.supervised();
     let mut stats = IngestStats::default();
     let mut pending: Vec<PendingRound> = (0..n).map(|_| PendingRound::new()).collect();
     let mut first_at: Vec<Option<Instant>> = vec![None; n];
@@ -1107,22 +1441,47 @@ fn ingest_loop(
             home: s,
             priority,
             closed_at: Instant::now(),
+            hedged: false,
+            hedge: false,
             jobs,
         };
         first_at[s] = None;
         let mut qs = queues.inner.lock().expect("queues poisoned");
-        qs[s].rounds.push_back(round);
-        drop(qs);
-        queues.work.notify_all();
+        if qs[s].dead {
+            // The home shard died since these jobs were routed: hand the
+            // round straight to the recovery path. `home` stays `s`, so
+            // depth slots and ledger attribution are unchanged.
+            drop(qs);
+            requeue_rounds(
+                s,
+                vec![round],
+                queues,
+                steal_class,
+                in_flight,
+                window,
+                clock,
+                admission,
+            );
+        } else {
+            qs[s].rounds.push_back(round);
+            drop(qs);
+            queues.work.notify_all();
+        }
         true
     };
 
     // Appends one job to shard `s`'s pending round, closing it when full.
     let push = |s: usize,
-                job: TrackedJob,
+                mut job: TrackedJob,
                 pending: &mut Vec<PendingRound>,
                 first_at: &mut Vec<Option<Instant>>,
                 stats: &mut IngestStats| {
+        if supervised {
+            // Every job copy shares one atomic claim with its future
+            // recovery/hedge copies — minted here, the single point all
+            // jobs enter the fabric through.
+            job.claim = Some(Arc::new(AtomicBool::new(false)));
+        }
         in_flight.inc();
         if pending[s].is_empty() {
             first_at[s] = Some(Instant::now());
@@ -1219,6 +1578,7 @@ fn ingest_loop(
                                 deadline_ns: 0,
                                 ..timeline
                             },
+                            claim: None,
                         },
                         &mut pending,
                         &mut first_at,
@@ -1232,6 +1592,7 @@ fn ingest_loop(
                         ticket: Some(sub.ticket),
                         priority: sub.priority,
                         timeline,
+                        claim: None,
                     },
                     &mut pending,
                     &mut first_at,
@@ -1266,9 +1627,165 @@ fn ingest_loop(
     }
 }
 
+/// Pushes `rounds` onto the first surviving shard of `from`'s steal class
+/// — the only requeue target statically proven result-identical — under
+/// the queues lock the *caller* already holds. Returns the recovered job
+/// count (jobs not already resolved by another copy), or the rounds back
+/// when no survivor exists so the caller can pick its no-survivor policy
+/// (fail vs. drop).
+///
+/// Taking the lock as a parameter is what makes every recovery move
+/// atomic with the liveness checks around it: a peer deciding to exit
+/// serializes against this push on the same lock, so it either sees the
+/// requeued rounds or the requeue sees it still alive.
+fn requeue_locked(
+    qs: &mut [QueueState],
+    from: usize,
+    rounds: Vec<Round>,
+    steal_class: &[usize],
+) -> Result<u64, Vec<Round>> {
+    let target =
+        (0..qs.len()).find(|&t| t != from && !qs[t].dead && steal_class[t] == steal_class[from]);
+    let Some(t) = target else {
+        return Err(rounds);
+    };
+    let mut recovered = 0u64;
+    for round in rounds {
+        recovered += round.jobs.iter().filter(|j| !j.already_resolved()).count() as u64;
+        qs[t].rounds.push_back(round);
+    }
+    Ok(recovered)
+}
+
+/// Resolves every still-unclaimed job of a round that could not be
+/// requeued: the typed [`ServeError::ShardLost`] failure, ledgered under
+/// `failed` against the round's home shard.
+fn fail_round(
+    mut round: Round,
+    lost_shard: usize,
+    in_flight: &InFlight,
+    window: &ServingWindow,
+    clock: &Clock,
+    admission: &Admission,
+) {
+    for job in round.jobs.iter_mut() {
+        if !job.claim() {
+            continue; // another copy already resolved this ticket
+        }
+        job.timeline.completed_ns = clock.now_ns();
+        if let Some(ticket) = &job.ticket {
+            admission.note_failed(job.priority.index(), round.home);
+            ticket.fulfill(
+                Outcome::Failed(ServeError::ShardLost { shard: lost_shard }),
+                job.timeline,
+            );
+        }
+        window.mark_complete(job.timeline.completed_ns);
+        in_flight.dec();
+    }
+}
+
+/// Requeues rounds whose home shard is already dead (the ingestion-side
+/// recovery entry: the round never reached the dead queue). Takes its own
+/// lock; safe because ingestion only runs before close, when every worker
+/// is still live.
+#[allow(clippy::too_many_arguments)]
+fn requeue_rounds(
+    from: usize,
+    rounds: Vec<Round>,
+    queues: &Queues,
+    steal_class: &[usize],
+    in_flight: &InFlight,
+    window: &ServingWindow,
+    clock: &Clock,
+    admission: &Admission,
+) {
+    let mut qs = queues.inner.lock().expect("queues poisoned");
+    match requeue_locked(&mut qs, from, rounds, steal_class) {
+        Ok(recovered) => {
+            drop(qs);
+            if recovered > 0 {
+                admission.recovered.fetch_add(recovered, Ordering::Relaxed);
+            }
+            queues.work.notify_all();
+        }
+        Err(rounds) => {
+            drop(qs);
+            for round in rounds {
+                fail_round(round, from, in_flight, window, clock, admission);
+            }
+        }
+    }
+}
+
+/// A worker's dying act (chaos kill or contained panic): marks the shard
+/// dead, then moves its entire failure domain — queued rounds plus every
+/// round it had checked out on lease — onto one surviving same-class
+/// shard, all under a single queues-lock acquisition (the lease lock
+/// nests inside; see [`LeaseTable`]). The atomicity is load-bearing:
+/// between the drain and the push no peer can observe "all queues empty"
+/// and exit, so the requeued rounds always land on a live worker. With no
+/// survivor, the stranded jobs fail typed ([`fail_round`]).
+///
+/// Requeueing ignores [`DispatchOptions::work_stealing`] when supervised
+/// — steal-class compatibility is the static proof of result identity,
+/// stealing is just a scheduling policy. Unsupervised (a contained panic
+/// with stealing off), peers use own-queue-only exit conditions, so the
+/// only safe move is to fail the backlog.
+#[allow(clippy::too_many_arguments)]
+fn abandon_shard(
+    me: usize,
+    supervision: Option<&Supervision>,
+    queues: &Queues,
+    steal_class: &[usize],
+    in_flight: &InFlight,
+    window: &ServingWindow,
+    clock: &Clock,
+    admission: &Admission,
+    options: &DispatchOptions,
+) {
+    let mut qs = queues.inner.lock().expect("queues poisoned");
+    qs[me].dead = true;
+    let mut stranded: Vec<Round> = qs[me].rounds.drain(..).collect();
+    if let Some(sup) = supervision {
+        stranded.extend(sup.leases.reclaim_shard(me));
+    }
+    let can_requeue = options.supervised() || options.work_stealing;
+    let failed: Vec<Round> = if stranded.is_empty() {
+        Vec::new()
+    } else if can_requeue {
+        match requeue_locked(&mut qs, me, stranded, steal_class) {
+            Ok(recovered) => {
+                if recovered > 0 {
+                    admission.recovered.fetch_add(recovered, Ordering::Relaxed);
+                }
+                Vec::new()
+            }
+            Err(rounds) => rounds,
+        }
+    } else {
+        stranded
+    };
+    drop(qs);
+    // Wake everyone: exit-waiters re-check against the new dead flag and
+    // the (possibly) requeued rounds.
+    queues.work.notify_all();
+    for round in failed {
+        fail_round(round, me, in_flight, window, clock, admission);
+    }
+}
+
 /// One shard's worker loop: pop own rounds (interactive first), steal
 /// when idle, shed queue-expired deadlines, execute the rest on the
 /// shard's backend, stamp/record latency, fulfill tickets.
+///
+/// Under supervision every checked-out round is leased
+/// ([`LeaseTable::checkout`]) until resolved, scripted chaos events
+/// (kill/stall) fire at checkout, and every job resolution is gated by
+/// its atomic claim so a recovered or hedged copy can never double-fulfil
+/// a ticket. A backend panic is contained here: the in-hand jobs fail
+/// typed, the shard abandons its queue, the worker exits — the dispatcher
+/// keeps serving on the survivors.
 #[allow(clippy::too_many_arguments)]
 fn shard_loop(
     me: usize,
@@ -1279,11 +1796,16 @@ fn shard_loop(
     clock: &Clock,
     admission: &Admission,
     steal_class: &[usize],
+    supervision: Option<&Supervision>,
     options: &DispatchOptions,
 ) {
     let my = &shards[me];
     let mut scratch = my.backend.scratch();
     let mut costs: Vec<u64> = Vec::new();
+    let chaos = options.chaos.as_ref();
+    let kill_after = chaos.and_then(|c| c.kill_after(me));
+    let stall = chaos.and_then(|c| c.stall(me));
+    let mut rounds_done: u64 = 0;
 
     loop {
         let round = next_round(
@@ -1292,10 +1814,44 @@ fn shard_loop(
             steal_class,
             options.work_stealing,
             options.priority_aging,
+            supervision,
         );
         let Some(mut round) = round else {
             return; // all queues I can serve are closed and empty
         };
+        // Lease the round before anything can go wrong with it, and feed
+        // its observed queue wait to the hedge trigger histogram.
+        let lease = supervision.map(|sup| {
+            if options.hedge.is_some() {
+                let waited = Instant::now().duration_since(round.closed_at).as_nanos() as u64;
+                sup.round_waits
+                    .lock()
+                    .expect("round waits poisoned")
+                    .record(waited);
+            }
+            sup.leases.checkout(me, &round)
+        });
+        if kill_after.is_some_and(|after| rounds_done >= after) {
+            // Scripted death at checkout: drop the in-hand round — the
+            // lease copy owns its recovery — and abandon everything.
+            drop(round);
+            abandon_shard(
+                me,
+                supervision,
+                queues,
+                steal_class,
+                in_flight,
+                window,
+                clock,
+                admission,
+                options,
+            );
+            return;
+        }
+        if let (Some(plan), Some(base)) = (chaos, stall) {
+            std::thread::sleep(plan.stall_for(me, rounds_done, base));
+        }
+        rounds_done += 1;
         if round.home != me {
             my.stolen.fetch_add(1, Ordering::Relaxed);
         }
@@ -1309,13 +1865,21 @@ fn shard_loop(
         // job's deadline stamp is always 0): if the deadline passed in
         // queue, or the remaining service estimate no longer fits it,
         // shed instead of executing. Shed jobs are fully resolved here
-        // and never reach the backend seam.
+        // and never reach the backend seam. Sheds are attributed to
+        // `round.home` — the shard whose backlog cost the job its
+        // deadline — not the executing shard.
         let mut exec_idx: Vec<usize> = Vec::with_capacity(round.jobs.len());
         for (i, job) in round.jobs.iter_mut().enumerate() {
+            if job.already_resolved() {
+                continue; // another copy won the claim while we queued
+            }
             job.timeline.execute_start_ns = clock.now_ns();
             if job.timeline.deadline_ns != 0 {
                 let now_ns = job.timeline.execute_start_ns;
                 if now_ns.saturating_add(admission.service_estimate()) > job.timeline.deadline_ns {
+                    if !job.claim() {
+                        continue;
+                    }
                     job.timeline.completed_ns = clock.now_ns();
                     let reason = ShedReason::DeadlineExpired {
                         now_ns,
@@ -1335,16 +1899,74 @@ fn shard_loop(
         // Pass 2 — execute the survivors as one round through the seam:
         // backends with per-program setup cost amortize it across the
         // round's repeat-program jobs ([`Backend::execute_round`]), and a
-        // stolen round flows through identically to a home round.
-        let requests: Vec<&Request> = exec_idx.iter().map(|&i| &round.jobs[i].request).collect();
-        let outcomes = my.backend.execute_round(&mut scratch, &requests);
-        drop(requests);
+        // stolen round flows through identically to a home round. An
+        // empty survivor set never reaches the seam — a round of expired
+        // deadlines (or fully claimed-away jobs) must not charge a
+        // backend its per-round setup cost for zero requests.
+        let outcomes = if exec_idx.is_empty() {
+            Vec::new()
+        } else {
+            let requests: Vec<&Request> =
+                exec_idx.iter().map(|&i| &round.jobs[i].request).collect();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                my.backend.execute_round(&mut scratch, &requests)
+            }));
+            drop(requests);
+            match caught {
+                Ok(outcomes) => outcomes,
+                Err(_) => {
+                    // Contained backend panic: the in-hand jobs fail
+                    // typed (the panicking round must terminate, not
+                    // requeue forever), the queue backlog recovers, the
+                    // worker exits.
+                    drop(latency);
+                    for i in exec_idx {
+                        let job = &mut round.jobs[i];
+                        if !job.claim() {
+                            continue;
+                        }
+                        job.timeline.completed_ns = clock.now_ns();
+                        if let Some(ticket) = &job.ticket {
+                            admission.note_failed(job.priority.index(), round.home);
+                            ticket.fulfill(
+                                Outcome::Failed(ServeError::ShardLost { shard: me }),
+                                job.timeline,
+                            );
+                        }
+                        window.mark_complete(job.timeline.completed_ns);
+                        in_flight.dec();
+                    }
+                    if let (Some(sup), Some(id)) = (supervision, lease) {
+                        sup.leases.release(id);
+                    }
+                    abandon_shard(
+                        me,
+                        supervision,
+                        queues,
+                        steal_class,
+                        in_flight,
+                        window,
+                        clock,
+                        admission,
+                        options,
+                    );
+                    return;
+                }
+            }
+        };
         let executed = exec_idx.len() as u64;
         // Pass 3 — per-job accounting in request order: each job keeps
         // its own completion stamp, service cycles, latency record and
-        // ticket outcome, exactly as when jobs executed one by one.
+        // ticket outcome, exactly as when jobs executed one by one. The
+        // claim gate makes resolution exactly-once against recovered and
+        // hedged copies; whichever copy claims first wins, and because
+        // identical-class backends are result-identical the outcome bytes
+        // are the same either way.
         for (i, result) in exec_idx.into_iter().zip(outcomes) {
             let job = &mut round.jobs[i];
+            if !job.claim() {
+                continue; // lost the race to another copy after executing
+            }
             if let Ok(res) = &result {
                 costs.push(res.cycles);
                 my.dag_ops.fetch_add(res.dag_ops, Ordering::Relaxed);
@@ -1361,11 +1983,23 @@ fn shard_loop(
                 }
             }
             if let Some(ticket) = &job.ticket {
-                admission.note_completed(job.priority.index(), round.home);
                 let outcome = match result {
-                    Ok(res) => Outcome::Completed(res),
-                    Err(e) => Outcome::Failed(e),
+                    Ok(res) => {
+                        admission.note_completed(job.priority.index(), round.home);
+                        Outcome::Completed(res)
+                    }
+                    Err(e) => {
+                        // A backend that *returns* an error (vs. one that
+                        // panics) is a per-job failure, not a completion:
+                        // ledger it as `failed` so the balance equation
+                        // stays honest.
+                        admission.note_failed(job.priority.index(), round.home);
+                        Outcome::Failed(e)
+                    }
                 };
+                if round.hedge {
+                    admission.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                }
                 ticket.fulfill(outcome, job.timeline);
             }
             window.mark_complete(job.timeline.completed_ns);
@@ -1379,6 +2013,141 @@ fn shard_loop(
                 Ordering::Relaxed,
             );
         }
+        if let (Some(sup), Some(id)) = (supervision, lease) {
+            sup.leases.release(id);
+            // Wake exit-waiters: peers blocked on "a same-class lease is
+            // still out" can now re-check.
+            queues.work.notify_all();
+        }
+    }
+}
+
+/// The failure supervisor, spawned only when stall reclaim or hedging is
+/// configured. Each tick it (1) reclaims leases checked out longer than
+/// [`DispatchOptions::stall_timeout`] and requeues the copies onto live
+/// same-class shards — atomically under the queues lock, like every
+/// recovery move — and (2) runs the hedge pass. A reclaimed round with no
+/// surviving peer is *dropped*, not failed: its stalled holder is alive
+/// and still resolves the original. The supervisor outlives the workers
+/// (it is stopped after they join) so a stall detected during the final
+/// drain still recovers.
+fn supervisor_loop(
+    stop: &AtomicBool,
+    queues: &Queues,
+    sup: &Supervision,
+    steal_class: &[usize],
+    primaries: usize,
+    admission: &Admission,
+    options: &DispatchOptions,
+) {
+    let tick = {
+        let mut t = Duration::from_millis(10);
+        if let Some(stall) = options.stall_timeout {
+            t = t.min(stall / 4);
+        }
+        if let Some(hedge) = &options.hedge {
+            t = t.min(hedge.min_wait / 4);
+        }
+        t.max(Duration::from_micros(100))
+    };
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(tick);
+        if let Some(timeout) = options.stall_timeout {
+            let mut qs = queues.inner.lock().expect("queues poisoned");
+            let reclaimed = sup.leases.reclaim_stalled(timeout);
+            let mut recovered = 0u64;
+            let mut pushed = false;
+            for (holder, round) in reclaimed {
+                if let Ok(n) = requeue_locked(&mut qs, holder, vec![round], steal_class) {
+                    recovered += n;
+                    pushed = true;
+                }
+                // Err: no surviving peer — drop the copy; the stalled
+                // holder is still alive and resolves the original.
+            }
+            drop(qs);
+            if recovered > 0 {
+                admission.recovered.fetch_add(recovered, Ordering::Relaxed);
+            }
+            if pushed {
+                queues.work.notify_all();
+            }
+        }
+        if let Some(hedge) = &options.hedge {
+            hedge_pass(queues, sup, steal_class, primaries, admission, hedge);
+        }
+    }
+}
+
+/// One hedge sweep: any queued round on a live primary that has waited
+/// past `max(observed wait at trigger_percentile, min_wait)` gets one
+/// copy pushed to an idle (empty-queue, live) shard of the same steal
+/// class. The original is marked `hedged` (never hedged twice), the copy
+/// `hedge` (its claimed-job completions count as hedge wins). The busy
+/// map keeps two hedges from landing on one idle shard in a single pass.
+fn hedge_pass(
+    queues: &Queues,
+    sup: &Supervision,
+    steal_class: &[usize],
+    primaries: usize,
+    admission: &Admission,
+    hedge: &HedgeOptions,
+) {
+    let threshold = {
+        let waits = sup.round_waits.lock().expect("round waits poisoned");
+        let observed_ns = if waits.is_empty() {
+            0
+        } else {
+            waits.value_at_quantile(f64::from(hedge.trigger_percentile) / 100.0)
+        };
+        Duration::from_nanos(observed_ns).max(hedge.min_wait)
+    };
+    let now = Instant::now();
+    let mut qs = queues.inner.lock().expect("queues poisoned");
+    let n = qs.len();
+    let mut busy: Vec<bool> = (0..n)
+        .map(|t| qs[t].dead || !qs[t].rounds.is_empty())
+        .collect();
+    let mut hedged_jobs = 0u64;
+    let mut pushed = false;
+    for s in 0..primaries.min(n) {
+        if qs[s].dead {
+            continue;
+        }
+        // Plan against the immutable queue first, then apply: indices
+        // stay valid because the plan only reads and the apply only
+        // mutates flags and *other* shards' queues.
+        let mut plan: Vec<(usize, usize)> = Vec::new();
+        for (i, r) in qs[s].rounds.iter().enumerate() {
+            if r.hedged || r.hedge || now.duration_since(r.closed_at) < threshold {
+                continue;
+            }
+            let Some(t) = (0..n).find(|&t| t != s && !busy[t] && steal_class[t] == steal_class[s])
+            else {
+                break; // no idle same-class peer left this pass
+            };
+            busy[t] = true;
+            plan.push((i, t));
+        }
+        for (i, t) in plan {
+            let copy = {
+                let r = &mut qs[s].rounds[i];
+                r.hedged = true;
+                let mut c = r.clone_shared();
+                c.hedge = true;
+                c
+            };
+            hedged_jobs += copy.jobs.iter().filter(|j| !j.already_resolved()).count() as u64;
+            qs[t].rounds.push_back(copy);
+            pushed = true;
+        }
+    }
+    drop(qs);
+    if hedged_jobs > 0 {
+        admission.hedged.fetch_add(hedged_jobs, Ordering::Relaxed);
+    }
+    if pushed {
+        queues.work.notify_all();
     }
 }
 
@@ -1396,12 +2165,23 @@ fn shard_loop(
 /// With single-class traffic and no aged rounds this degrades exactly to
 /// the old FIFO-pop / newest-steal behavior. Returns `None` once every
 /// queue `me` may serve is closed and empty.
+///
+/// Supervised, the exit condition hardens in two ways. First, it goes
+/// class-wide even with stealing off: recovery and hedging requeue onto
+/// same-class peers regardless of the stealing policy, so an idle worker
+/// must stay alive while any same-class queue still has (or could
+/// receive) work. Second, the worker also waits out every outstanding
+/// same-class *lease* — a peer holding one could still die and requeue
+/// its in-hand round here. Once all same-class queues are closed+empty
+/// and no lease is out, no new work can materialize (every producer path
+/// starts from a queued round or a lease), so the condition is stable.
 fn next_round(
     me: usize,
     queues: &Queues,
     steal_class: &[usize],
     stealing: bool,
     aging: Duration,
+    supervision: Option<&Supervision>,
 ) -> Option<Round> {
     let mut qs = queues.inner.lock().expect("queues poisoned");
     loop {
@@ -1436,14 +2216,17 @@ fn next_round(
             }
         }
         let servable_done = |j: usize| qs[j].closed && qs[j].rounds.is_empty();
-        let all_done = if stealing {
+        let all_done = if stealing || supervision.is_some() {
             (0..qs.len())
                 .filter(|&j| steal_class[j] == steal_class[me])
                 .all(servable_done)
         } else {
             servable_done(me)
         };
-        if all_done {
+        if all_done
+            && !supervision
+                .is_some_and(|sup| sup.leases.class_has_leases(steal_class, steal_class[me]))
+        {
             return None;
         }
         qs = queues.work.wait(qs).expect("queues poisoned");

@@ -619,8 +619,13 @@ pub(crate) struct Admission {
     pub(crate) depth: Vec<AtomicU64>,
     /// Per-class accepted submissions.
     pub(crate) accepted: [AtomicU64; 3],
-    /// Per-class executed-to-resolution requests (success or failure).
+    /// Per-class executed-to-completion requests (success only; failures
+    /// are ledgered separately in `failed`).
     pub(crate) completed: [AtomicU64; 3],
+    /// Per-class requests that resolved [`Outcome::Failed`] — executed
+    /// (or tried to) and errored, or stranded by a shard loss with no
+    /// surviving compatible shard to recover onto.
+    pub(crate) failed: [AtomicU64; 3],
     /// Per-class shed requests.
     pub(crate) shed: [AtomicU64; 3],
     /// Per-class rejected submissions (never accepted).
@@ -637,6 +642,16 @@ pub(crate) struct Admission {
     pub(crate) queueing_estimate_ns: AtomicU64,
     /// Live EWMA of observed host-side service time.
     pub(crate) service_estimate_ns: AtomicU64,
+    /// Jobs rescued from a dead or stalled shard: requeued onto a
+    /// surviving compatible shard by the supervision path. Overlay
+    /// counters — recovery moves work, it does not change any outcome,
+    /// so these stay outside the per-class balance equation.
+    pub(crate) recovered: AtomicU64,
+    /// Jobs for which a hedge copy was enqueued on an idle
+    /// identical-class shard.
+    pub(crate) hedged: AtomicU64,
+    /// Hedged jobs whose *copy* won the completion claim.
+    pub(crate) hedge_wins: AtomicU64,
 }
 
 impl Admission {
@@ -648,6 +663,7 @@ impl Admission {
             depth: (0..primaries).map(|_| AtomicU64::new(0)).collect(),
             accepted: Default::default(),
             completed: Default::default(),
+            failed: Default::default(),
             shed: Default::default(),
             rejected: Default::default(),
             rejected_would_block: AtomicU64::new(0),
@@ -657,6 +673,9 @@ impl Admission {
             shed_expired: AtomicU64::new(0),
             queueing_estimate_ns: AtomicU64::new(0),
             service_estimate_ns: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+            hedged: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
         }
     }
 
@@ -683,12 +702,14 @@ impl Admission {
     }
 
     /// Backoff hint for a [`SubmitRejection::WouldBlock`]: about half the
-    /// live queueing estimate (one drain quantum), the latency budget
-    /// when nothing has been observed yet, clamped to a sane
-    /// [100 µs, 1 s] band so callers never spin or stall forever.
+    /// live queueing estimate (one drain quantum), floored at the
+    /// dispatcher's round latency budget (`max_wait`) — a cold or
+    /// near-zero EWMA must not invite busy-retry against a queue that
+    /// cannot possibly drain faster than one round — and clamped to a
+    /// sane [100 µs, 1 s] band so callers never spin or stall forever.
     pub(crate) fn retry_after(&self) -> Duration {
         let est = self.queueing_estimate_ns.load(Ordering::Relaxed);
-        let ns = if est == 0 { self.max_wait_ns } else { est / 2 };
+        let ns = (est / 2).max(self.max_wait_ns);
         Duration::from_nanos(ns.clamp(100_000, 1_000_000_000))
     }
 
@@ -712,6 +733,12 @@ impl Admission {
     /// Records a completion of `class`; `home` releases its depth slot.
     pub(crate) fn note_completed(&self, class: usize, home: usize) {
         self.completed[class].fetch_add(1, Ordering::Relaxed);
+        self.release(home);
+    }
+
+    /// Records a failure of `class`; `home` releases its depth slot.
+    pub(crate) fn note_failed(&self, class: usize, home: usize) {
+        self.failed[class].fetch_add(1, Ordering::Relaxed);
         self.release(home);
     }
 

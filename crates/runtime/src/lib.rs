@@ -92,6 +92,7 @@ use serde::{Deserialize, Serialize};
 
 pub mod backend;
 pub mod cache;
+pub mod chaos;
 pub mod dispatch;
 pub mod ingest;
 pub mod latency;
@@ -100,6 +101,7 @@ pub mod pool;
 
 pub use backend::{Backend, BaselineBackend, Scratch, StealClass};
 pub use cache::{CacheKey, CacheStats, ProgramCache, SpillLookup, SpillStore};
+pub use chaos::{ChaosEvent, ChaosPlan, HedgeOptions};
 pub use dispatch::{
     home_shard, ClassReport, DispatchOptions, DispatchReport, Dispatcher, PlatformSummary,
     ShardReport,

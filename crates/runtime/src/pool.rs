@@ -100,6 +100,14 @@ pub enum ServeError {
     /// the registered DAG) — raised by analytic baseline backends, which
     /// evaluate through the reference interpreter instead of compiling.
     Inputs(dpu_dag::DagError),
+    /// The shard holding the request died (a chaos-plan kill or a
+    /// contained worker panic) and no surviving shard of the same steal
+    /// class existed to recover it onto. Raised by the dispatcher's
+    /// supervision path, never by an engine.
+    ShardLost {
+        /// Index of the lost shard.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -111,6 +119,10 @@ impl std::fmt::Display for ServeError {
                 write!(f, "request {request}: simulation failed: {error}")
             }
             ServeError::Inputs(e) => write!(f, "inputs rejected: {e:?}"),
+            ServeError::ShardLost { shard } => write!(
+                f,
+                "shard {shard} lost with no surviving compatible shard to recover onto"
+            ),
         }
     }
 }

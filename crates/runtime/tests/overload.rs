@@ -13,9 +13,11 @@ use dpu_compiler::CompileOptions;
 use dpu_dag::{Dag, DagBuilder, Op};
 use dpu_isa::ArchConfig;
 use dpu_runtime::{
-    DispatchOptions, Dispatcher, Outcome, Priority, Request, ShedReason, SubmitOptions,
-    SubmitRejection, Ticket,
+    dag_fingerprint, home_shard, Backend, CacheStats, DispatchOptions, Dispatcher, Engine,
+    EngineOptions, Outcome, Priority, Request, Scratch, ServeError, ShedReason, StealClass,
+    SubmitOptions, SubmitRejection, Ticket,
 };
+use dpu_sim::RunResult;
 
 fn arch() -> ArchConfig {
     ArchConfig::new(2, 8, 32).unwrap()
@@ -432,9 +434,212 @@ fn no_accepted_ticket_is_ever_silently_dropped() {
             let c = report.class(p);
             assert_eq!(
                 c.offered,
-                c.completed + c.shed + c.rejected,
+                c.completed + c.failed + c.shed + c.rejected,
                 "round {round}: {p:?} ledger dishonest: {c:?}"
             );
         }
     }
+}
+
+/// Regression: the `WouldBlock::retry_after` hint must be floored at the
+/// dispatcher's round latency budget (`max_wait`) even when the queueing
+/// EWMA is stone cold — a full queue physically cannot drain faster than
+/// one round, so a near-zero hint would invite a busy-retry storm.
+#[test]
+fn cold_retry_after_is_floored_at_max_wait() {
+    let max_wait = Duration::from_millis(200);
+    let d = dispatcher(DispatchOptions {
+        shards: 1,
+        max_batch: 1024,
+        // Rounds close only by the 200 ms timer, so nothing completes —
+        // and no EWMA observation lands — before we probe the wall.
+        max_wait,
+        queue_capacity: Some(2),
+        ..Default::default()
+    });
+    let key = d.register(small_dag());
+    let sub = d.submitter();
+    let accepted: Vec<Ticket> = (0..2)
+        .map(|i| {
+            sub.submit(Request::new(key, vec![i as f32, 1.0]))
+                .expect("under capacity")
+        })
+        .collect();
+    let err = sub
+        .submit(Request::new(key, vec![9.0, 9.0]))
+        .expect_err("queue is full");
+    match &err {
+        SubmitRejection::WouldBlock { retry_after, .. } => {
+            assert!(
+                *retry_after >= max_wait,
+                "cold retry_after {retry_after:?} under the {max_wait:?} round budget"
+            );
+            assert!(*retry_after <= Duration::from_secs(1), "hint above clamp");
+        }
+        other => panic!("expected WouldBlock, got {other:?}"),
+    }
+    d.drain();
+    for t in accepted {
+        t.wait().unwrap();
+    }
+    d.shutdown();
+}
+
+/// A pass-through backend that sleeps `delay` per round before
+/// executing, keeping the inner engine's steal class (the results really
+/// are byte-identical — only the host-side timing differs).
+struct SlowBackend {
+    inner: Arc<dyn Backend>,
+    delay: Duration,
+}
+
+impl Backend for SlowBackend {
+    fn platform(&self) -> &'static str {
+        self.inner.platform()
+    }
+    fn register(&self, dag: Dag) -> dpu_runtime::DagKey {
+        self.inner.register(dag)
+    }
+    fn scratch(&self) -> Scratch {
+        self.inner.scratch()
+    }
+    fn execute(&self, scratch: &mut Scratch, request: &Request) -> Result<RunResult, ServeError> {
+        self.inner.execute(scratch, request)
+    }
+    fn execute_round(
+        &self,
+        scratch: &mut Scratch,
+        requests: &[&Request],
+    ) -> Vec<Result<RunResult, ServeError>> {
+        std::thread::sleep(self.delay);
+        self.inner.execute_round(scratch, requests)
+    }
+    fn round_cycles(&self, costs: &[u64], cores: usize) -> u64 {
+        self.inner.round_cycles(costs, cores)
+    }
+    fn steal_class(&self) -> StealClass {
+        self.inner.steal_class()
+    }
+    fn cache_stats(&self) -> CacheStats {
+        self.inner.cache_stats()
+    }
+}
+
+fn engine_backend(arch: ArchConfig) -> Arc<dyn Backend> {
+    Arc::new(Engine::new(
+        arch,
+        CompileOptions::default(),
+        EngineOptions {
+            workers: 1,
+            cores: 8,
+            cache_capacity: None,
+            spill_dir: None,
+        },
+    ))
+}
+
+/// Regression: a round stolen by a fast shard and shed there must charge
+/// the shed — and release the admission depth slot — against the round's
+/// *home* shard, whose backlog cost the job its deadline. Misattribution
+/// leaks the home slot (the queue stays "full" forever) and underflows
+/// the thief's.
+#[test]
+fn stolen_round_shed_is_attributed_to_home_shard() {
+    let dag = small_dag();
+    let home = home_shard(dag_fingerprint(&dag), 2);
+    // The home shard is 6× slower than its same-class peer, so the peer
+    // provably frees first and steals the doomed round off the home
+    // backlog — after the round's deadline has already expired.
+    let mut backends: Vec<Arc<dyn Backend>> = Vec::new();
+    for s in 0..2 {
+        backends.push(Arc::new(SlowBackend {
+            inner: engine_backend(arch()),
+            delay: if s == home {
+                Duration::from_millis(300)
+            } else {
+                Duration::from_millis(50)
+            },
+        }));
+    }
+    let d = Dispatcher::with_backends(
+        backends,
+        Vec::new(),
+        DispatchOptions {
+            max_batch: 1,
+            work_stealing: true,
+            queue_capacity: Some(2),
+            ..Default::default()
+        },
+    );
+    let key = d.register(dag);
+    // A second family routed to the peer shard, to occupy it while the
+    // doomed round's deadline burns down.
+    let other_dag = {
+        let mut b = DagBuilder::new();
+        let mut dag;
+        let mut salt = 0u32;
+        loop {
+            let x = b.input();
+            let y = b.input();
+            let s = b.node(Op::Add, &[x, y]).unwrap();
+            let m = b.node(Op::Mul, &[s, s]).unwrap();
+            for _ in 0..salt {
+                b.node(Op::Add, &[m, m]).unwrap();
+            }
+            dag = b.finish().unwrap();
+            if home_shard(dag_fingerprint(&dag), 2) != home {
+                break dag;
+            }
+            salt += 1;
+            b = DagBuilder::new();
+        }
+    };
+    let other_key = d.register(other_dag);
+    let sub = d.submitter();
+
+    // Occupy both workers (each sleeps its own shard's delay), then
+    // submit the doomed round against the home backlog.
+    let busy_home = sub.submit(Request::new(key, vec![1.0, 1.0])).unwrap();
+    let busy_other = sub.submit(Request::new(other_key, vec![1.0, 1.0])).unwrap();
+    let doomed = sub
+        .submit_with(
+            Request::new(key, vec![2.0, 2.0]),
+            SubmitOptions::default().deadline(Instant::now() + Duration::from_millis(20)),
+        )
+        .expect("accepted: deadline still in the future");
+
+    // The peer frees at ~50 ms (home is busy until ~300 ms), steals the
+    // doomed round, and sheds it — the deadline died at 20 ms.
+    match doomed.wait() {
+        Outcome::Shed {
+            reason: ShedReason::DeadlineExpired { .. },
+        } => {}
+        other => panic!("expected DeadlineExpired shed, got {other:?}"),
+    }
+
+    // The shed must have released the *home* depth slot: home offered 2
+    // (busy + doomed) against capacity 2, so a third home submission is
+    // admitted only if the stolen shed came back to the home ledger. The
+    // home worker is still busy (~300 ms), so no completion can mask a
+    // misattributed release.
+    let probe = sub
+        .submit(Request::new(key, vec![3.0, 3.0]))
+        .expect("stolen shed must release the home shard's depth slot");
+
+    d.drain();
+    assert_eq!(busy_home.wait().unwrap().outputs, vec![4.0]);
+    assert!(matches!(busy_other.wait(), Outcome::Completed(_)));
+    assert_eq!(probe.wait().unwrap().outputs, vec![36.0]);
+
+    let report = d.shutdown();
+    assert_eq!(report.shed(), 1);
+    assert_eq!(report.shed_expired, 1);
+    assert_eq!(report.served, 3);
+    assert!(
+        report.shards[1 - home].stolen_rounds >= 1,
+        "the peer never stole: {:?}",
+        report.shards
+    );
+    let c = report.class(Priority::Standard);
+    assert_eq!(c.offered, c.completed + c.failed + c.shed + c.rejected);
 }

@@ -147,7 +147,7 @@ struct ExecOp {
 /// A [`Program`] lowered to flat micro-op arrays — decode once, execute
 /// many. Build with [`DecodedProgram::decode`], run with
 /// [`Machine::run_decoded`] (or [`crate::run_decoded_on`] for the full
-/// stage-inputs/read-outputs round trip). See the [module docs](self).
+/// stage-inputs/read-outputs round trip). See the module-level docs.
 #[derive(Debug, Clone)]
 pub struct DecodedProgram {
     config: ArchConfig,
